@@ -1,0 +1,99 @@
+// Figure 19 — PgSim (PostgreSQL/pgbench-like) transaction latency CDF on
+// the SSD model, three systems:
+//   block-deadline : stock block-level deadlines — checkpoint fsyncs freeze
+//                    foreground transactions ("fsync freeze");
+//   split-pdflush  : Split-Deadline but with kernel writeback left on;
+//                    write syscalls throttled at a lower dirty cap;
+//   split-deadline : Split-Deadline owning writeback — tails eliminated.
+#include "bench/common/harness.h"
+#include "src/apps/pgsim.h"
+
+namespace splitio {
+namespace {
+
+struct Cdf {
+  double p50, p90, p99, p999, max;
+  double pct_over_15ms;
+  double pct_over_500ms;
+  uint64_t txns;
+};
+
+Cdf Run(SchedKind kind, bool own_writeback) {
+  Simulator sim;
+  BundleOptions opt;
+  opt.stack.device = StackConfig::DeviceKind::kSsd;
+  if (kind == SchedKind::kSplitDeadline) {
+    opt.split_deadline.own_writeback = own_writeback;
+    opt.split_deadline.pdflush_dirty_margin_bytes = 32ULL << 20;
+    opt.stack.cache.writeback_daemon = !own_writeback;
+  } else {
+    opt.block_deadline.read_expiry = Msec(5);
+    opt.block_deadline.write_expiry = Msec(5);
+  }
+  Bundle b = MakeBundle(kind, std::move(opt));
+  PgSim::Config config;
+  config.workers = 16;
+  PgSim pg(b.stack.get(), config);
+  constexpr Nanos kEnd = Sec(120);  // four checkpoint cycles
+  auto opener = [&]() -> Task<void> {
+    co_await pg.Open();
+    pg.Start(kEnd);
+  };
+  sim.Spawn(opener());
+  sim.Run(kEnd);
+  LatencyRecorder& lat = pg.txn_latency();
+  Cdf cdf;
+  cdf.p50 = ToMillis(lat.Percentile(50));
+  cdf.p90 = ToMillis(lat.Percentile(90));
+  cdf.p99 = ToMillis(lat.Percentile(99));
+  cdf.p999 = ToMillis(lat.Percentile(99.9));
+  cdf.max = ToMillis(lat.Max());
+  uint64_t over15 = 0;
+  uint64_t over500 = 0;
+  for (Nanos sample : lat.samples()) {
+    if (sample > Msec(15)) {
+      ++over15;
+    }
+    if (sample > Msec(500)) {
+      ++over500;
+    }
+  }
+  cdf.pct_over_15ms = 100.0 * static_cast<double>(over15) /
+                      static_cast<double>(lat.count());
+  cdf.pct_over_500ms = 100.0 * static_cast<double>(over500) /
+                       static_cast<double>(lat.count());
+  cdf.txns = pg.txns();
+  return cdf;
+}
+
+}  // namespace
+}  // namespace splitio
+
+int main() {
+  using namespace splitio;
+  PrintTitle("Figure 19: PgSim transaction latency CDF (SSD, 30s "
+             "checkpoints, target 15 ms)");
+  std::printf("%16s %8s %8s %8s %8s %9s %8s %8s %9s\n", "system", "p50",
+              "p90", "p99", "p99.9", "max(ms)", ">15ms%", ">500ms%", "txns");
+  struct Sys {
+    const char* name;
+    SchedKind kind;
+    bool own_wb;
+  };
+  const Sys systems[] = {
+      {"block-deadline", SchedKind::kBlockDeadline, false},
+      {"split-pdflush", SchedKind::kSplitDeadline, false},
+      {"split-deadline", SchedKind::kSplitDeadline, true},
+  };
+  for (const Sys& sys : systems) {
+    Cdf cdf = Run(sys.kind, sys.own_wb);
+    std::printf("%16s %8.1f %8.1f %8.1f %8.1f %9.1f %7.2f%% %7.2f%% %9llu\n",
+                sys.name, cdf.p50, cdf.p90, cdf.p99, cdf.p999, cdf.max,
+                cdf.pct_over_15ms, cdf.pct_over_500ms,
+                static_cast<unsigned long long>(cdf.txns));
+  }
+  std::printf("\n(Paper: block-deadline misses 15 ms for ~4%% of txns with a "
+              ">500 ms tail; split-deadline eliminates the tail; "
+              "split-pdflush sits between.)\n");
+  return 0;
+}

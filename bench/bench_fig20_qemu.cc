@@ -1,0 +1,132 @@
+// Figure 20 — Token-bucket isolation for virtual machines.
+//
+// The Figure 14 experiment with A and B each inside a VmGuest (QEMU-style):
+// the guest has its own page cache above the host's scheduling layer, and
+// throttling applies to the whole VM process. Split-Token still isolates A.
+// The interesting flip: SCS's huge mem-workload penalty disappears, because
+// the guest cache absorbs memory-bound I/O before SCS can tax it.
+#include "bench/common/isolation.h"
+#include "src/apps/vm_guest.h"
+
+namespace splitio {
+namespace {
+
+struct Outcome {
+  double a_mbps;
+  double b_mbps;
+};
+
+Outcome Run(SchedKind kind, BWorkload w, double a_alone_hint) {
+  (void)a_alone_hint;
+  Simulator sim;
+  BundleOptions opt;
+  opt.cores = 4;  // the paper's 4-core 8 GB QEMU host
+  opt.stack.cache.total_ram = 8ULL << 30;
+  Bundle b = MakeBundle(kind, std::move(opt));
+  if (b.split_token != nullptr) {
+    b.split_token->SetAccountLimit(1, 1.0 * 1024 * 1024);
+  }
+  if (b.scs_token != nullptr) {
+    b.scs_token->SetAccountLimit(1, 1.0 * 1024 * 1024);
+  }
+  Process* vm_a = b.stack->NewProcess("qemu-A");
+  Process* vm_b = b.stack->NewProcess("qemu-B");
+  vm_b->set_account(1);
+  VmGuest::Config guest_config;
+  VmGuest guest_a(b.stack.get(), vm_a, guest_config);
+  VmGuest guest_b(b.stack.get(), vm_b, guest_config);
+  guest_a.CreateImage("/vm-a.img");
+  guest_b.CreateImage("/vm-b.img");
+  guest_a.Start();
+  guest_b.Start();
+  if (w == BWorkload::kReadMem) {
+    // A long-running VM's warm working set: rereads never leave the guest.
+    guest_b.PrefillGuestCache(0, 64 << 20);
+  }
+
+  constexpr Nanos kEnd = Sec(30);
+  uint64_t a_bytes = 0;
+  uint64_t b_bytes = 0;
+  auto a_reader = [&]() -> Task<void> {
+    uint64_t off = 0;
+    while (Simulator::current().Now() < kEnd) {
+      a_bytes += co_await guest_a.Read(off, 256 * 1024);
+      off = (off + 256 * 1024) % (8ULL << 30);
+    }
+  };
+  auto b_worker = [&]() -> Task<void> {
+    Rng rng(17);
+    uint64_t off = 0;
+    while (Simulator::current().Now() < kEnd) {
+      switch (w) {
+        case BWorkload::kReadMem:
+          b_bytes += co_await guest_b.Read(off % (64 << 20), 1 << 20);
+          off += 1 << 20;
+          break;
+        case BWorkload::kReadSeq:
+          b_bytes += co_await guest_b.Read(off, 256 * 1024);
+          off += 256 * 1024;
+          break;
+        case BWorkload::kReadRand:
+          b_bytes += co_await guest_b.Read(
+              rng.Below((10ULL << 30) / 4096) * 4096, 4096);
+          break;
+        case BWorkload::kWriteMem:
+          b_bytes += co_await guest_b.Write(off % (64 << 20), 1 << 20);
+          off += 1 << 20;
+          break;
+        case BWorkload::kWriteSeq:
+          b_bytes += co_await guest_b.Write(off, 256 * 1024);
+          off += 256 * 1024;
+          break;
+        case BWorkload::kWriteRand:
+          b_bytes += co_await guest_b.Write(
+              rng.Below((2ULL << 30) / 4096) * 4096, 4096);
+          break;
+        default:
+          co_return;
+      }
+    }
+  };
+  sim.Spawn(a_reader());
+  if (w != BWorkload::kNone) {
+    sim.Spawn(b_worker());
+  }
+  sim.Run(kEnd);
+  Outcome out;
+  out.a_mbps = static_cast<double>(a_bytes) / (1024.0 * 1024.0) /
+               ToSeconds(kEnd);
+  out.b_mbps = static_cast<double>(b_bytes) / (1024.0 * 1024.0) /
+               ToSeconds(kEnd);
+  return out;
+}
+
+}  // namespace
+}  // namespace splitio
+
+int main() {
+  using namespace splitio;
+  PrintTitle("Figure 20: token isolation for QEMU-style VMs (B's VM "
+             "throttled to 1 MB/s)");
+  double a_alone = Run(SchedKind::kSplitToken, BWorkload::kNone, 0).a_mbps;
+  std::printf("A alone: %.1f MB/s\n\n", a_alone);
+  const BWorkload workloads[] = {BWorkload::kReadMem,  BWorkload::kReadSeq,
+                                 BWorkload::kReadRand, BWorkload::kWriteMem,
+                                 BWorkload::kWriteSeq, BWorkload::kWriteRand};
+  std::printf("%12s | %14s %14s | %14s %14s\n", "B-workload",
+              "A-slowdown:SCS", "A-slowdown:Spl", "B-MB/s:SCS",
+              "B-MB/s:Spl");
+  for (BWorkload w : workloads) {
+    Outcome scs = Run(SchedKind::kScsToken, w, a_alone);
+    Outcome spl = Run(SchedKind::kSplitToken, w, a_alone);
+    auto slow = [&](double a) { return 100.0 * (1.0 - a / a_alone); };
+    std::printf("%12s | %13.1f%% %13.1f%% | %14.2f %14.2f\n",
+                BWorkloadName(w), slow(scs.a_mbps), slow(spl.a_mbps),
+                scs.b_mbps, spl.b_mbps);
+  }
+  std::printf("\n(Paper: split isolates A in every case; SCS fails for "
+              "random B. Unlike raw SCS (Fig 14), SCS's mem-workload "
+              "penalty vanishes: the guest cache sits above the "
+              "throttle.)\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Shared benchmark harness: stack construction by scheduler name and
+// table-printing helpers. Each bench binary regenerates one table or figure
+// from the paper; output is plain aligned text so shapes are easy to eyeball
+// and diff.
+#ifndef BENCH_COMMON_HARNESS_H_
+#define BENCH_COMMON_HARNESS_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/block/block_deadline.h"
+#include "src/block/cfq.h"
+#include "src/block/noop.h"
+#include "src/core/storage_stack.h"
+#include "src/sched/afq.h"
+#include "src/sched/scs_token.h"
+#include "src/sched/split_deadline.h"
+#include "src/sched/split_noop.h"
+#include "src/sched/split_token.h"
+#include "src/sim/simulator.h"
+#include "src/workload/workloads.h"
+
+namespace splitio {
+
+enum class SchedKind {
+  kNoop,
+  kCfq,
+  kBlockDeadline,
+  kSplitNoop,
+  kAfq,
+  kSplitDeadline,
+  kSplitToken,
+  kScsToken,
+};
+
+inline const char* SchedName(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::kNoop: return "block-noop";
+    case SchedKind::kCfq: return "cfq";
+    case SchedKind::kBlockDeadline: return "block-deadline";
+    case SchedKind::kSplitNoop: return "split-noop";
+    case SchedKind::kAfq: return "afq";
+    case SchedKind::kSplitDeadline: return "split-deadline";
+    case SchedKind::kSplitToken: return "split-token";
+    case SchedKind::kScsToken: return "scs-token";
+  }
+  return "?";
+}
+
+// A stack plus the typed pointers benches need to poke schedulers.
+struct Bundle {
+  std::unique_ptr<CpuModel> cpu;
+  std::unique_ptr<StorageStack> stack;
+  SplitTokenScheduler* split_token = nullptr;
+  ScsTokenScheduler* scs_token = nullptr;
+  SplitDeadlineScheduler* split_deadline = nullptr;
+};
+
+struct BundleOptions {
+  int cores = 8;
+  StackConfig stack;
+  BlockDeadlineConfig block_deadline;
+  SplitDeadlineConfig split_deadline;
+  SplitTokenConfig split_token;
+  ScsTokenConfig scs_token;
+  CfqConfig cfq;
+};
+
+inline Bundle MakeBundle(SchedKind kind, BundleOptions opt = BundleOptions()) {
+  Bundle b;
+  b.cpu = std::make_unique<CpuModel>(opt.cores);
+  std::unique_ptr<SplitScheduler> sched;
+  std::unique_ptr<Elevator> legacy;
+  switch (kind) {
+    case SchedKind::kNoop:
+      legacy = std::make_unique<NoopElevator>();
+      break;
+    case SchedKind::kCfq:
+      legacy = std::make_unique<CfqElevator>(opt.cfq);
+      break;
+    case SchedKind::kBlockDeadline:
+      legacy = std::make_unique<BlockDeadlineElevator>(opt.block_deadline);
+      break;
+    case SchedKind::kSplitNoop:
+      sched = std::make_unique<SplitNoopScheduler>();
+      break;
+    case SchedKind::kAfq:
+      sched = std::make_unique<AfqScheduler>();
+      break;
+    case SchedKind::kSplitDeadline: {
+      auto s = std::make_unique<SplitDeadlineScheduler>(opt.split_deadline);
+      b.split_deadline = s.get();
+      sched = std::move(s);
+      break;
+    }
+    case SchedKind::kSplitToken: {
+      auto s = std::make_unique<SplitTokenScheduler>(opt.split_token);
+      b.split_token = s.get();
+      sched = std::move(s);
+      break;
+    }
+    case SchedKind::kScsToken: {
+      auto s = std::make_unique<ScsTokenScheduler>(opt.scs_token);
+      b.scs_token = s.get();
+      sched = std::move(s);
+      break;
+    }
+  }
+  b.stack = std::make_unique<StorageStack>(opt.stack, b.cpu.get(),
+                                           std::move(sched),
+                                           std::move(legacy));
+  b.stack->Start();
+  return b;
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline std::string HumanBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (1ULL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%lluMB",
+                  static_cast<unsigned long long>(bytes >> 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluKB",
+                  static_cast<unsigned long long>(bytes >> 10));
+  }
+  return buf;
+}
+
+}  // namespace splitio
+
+#endif  // BENCH_COMMON_HARNESS_H_

@@ -1,0 +1,60 @@
+#include "src/apps/pgsim.h"
+
+#include <string>
+
+#include "src/sim/simulator.h"
+
+namespace splitio {
+
+Task<void> PgSim::Open() {
+  for (int i = 0; i < config_.workers; ++i) {
+    Process* p = stack_->NewProcess("pg-worker-" + std::to_string(i));
+    p->set_fsync_deadline(config_.foreground_fsync_deadline);
+    p->set_read_deadline(Msec(5));
+    worker_procs_.push_back(p);
+  }
+  checkpoint_proc_ = stack_->NewProcess("pg-checkpointer");
+  checkpoint_proc_->set_fsync_deadline(config_.checkpoint_fsync_deadline);
+  wal_ino_ = co_await stack_->kernel().Creat(*worker_procs_[0], "/pg/wal");
+  data_ino_ = stack_->fs().CreatePreallocated("/pg/data", config_.data_bytes);
+}
+
+void PgSim::Start(Nanos until) {
+  for (int i = 0; i < config_.workers; ++i) {
+    Simulator::current().Spawn(WorkerLoop(i, until));
+  }
+  Simulator::current().Spawn(CheckpointLoop(until));
+}
+
+Task<void> PgSim::WorkerLoop(int id, Nanos until) {
+  Process& proc = *worker_procs_[static_cast<size_t>(id)];
+  Rng rng(config_.seed + static_cast<uint64_t>(id));
+  uint64_t pages = config_.data_bytes / kPageSize;
+  while (Simulator::current().Now() < until) {
+    Nanos start = Simulator::current().Now();
+    // Read two random pages (accounts + branches), update one (buffered),
+    // append + fsync WAL.
+    co_await stack_->kernel().Read(proc, data_ino_,
+                                   rng.Below(pages) * kPageSize, kPageSize);
+    co_await stack_->kernel().Read(proc, data_ino_,
+                                   rng.Below(pages) * kPageSize, kPageSize);
+    co_await stack_->kernel().Write(proc, data_ino_,
+                                    rng.Below(pages) * kPageSize, kPageSize);
+    co_await stack_->kernel().Write(proc, wal_ino_, wal_offset_,
+                                    config_.wal_record_bytes);
+    wal_offset_ += config_.wal_record_bytes;
+    co_await stack_->kernel().Fsync(proc, wal_ino_);
+    txn_latency_.Add(Simulator::current().Now() - start);
+    ++txns_;
+  }
+}
+
+Task<void> PgSim::CheckpointLoop(Nanos until) {
+  while (Simulator::current().Now() < until) {
+    co_await Delay(config_.checkpoint_interval);
+    co_await stack_->kernel().Fsync(*checkpoint_proc_, data_ino_);
+    ++checkpoints_;
+  }
+}
+
+}  // namespace splitio

@@ -1,0 +1,62 @@
+// PgSim — PostgreSQL-like OLTP model benchmarked pgbench-style (§7.1.2).
+//
+// N worker threads run TPC-B-ish transactions: a couple of page reads, one
+// page update, a WAL append, and a WAL fsync (foreground, tight deadline).
+// A checkpointer fsyncs the whole data file every checkpoint interval
+// (background, loose deadline) — the "fsync freeze" source.
+#ifndef SRC_APPS_PGSIM_H_
+#define SRC_APPS_PGSIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/storage_stack.h"
+#include "src/metrics/stats.h"
+#include "src/sim/random.h"
+
+namespace splitio {
+
+class PgSim {
+ public:
+  struct Config {
+    int workers = 4;
+    uint64_t data_bytes = 512ULL << 20;
+    uint64_t wal_record_bytes = 8192;
+    Nanos checkpoint_interval = Sec(30);
+    Nanos foreground_fsync_deadline = Msec(5);
+    Nanos checkpoint_fsync_deadline = Msec(200);
+    uint64_t seed = 4242;
+  };
+
+  PgSim(StorageStack* stack, const Config& config)
+      : stack_(stack), config_(config) {}
+
+  // Creates files and processes; sets per-process deadlines.
+  Task<void> Open();
+
+  // Spawns workers + checkpointer; runs until `until`.
+  void Start(Nanos until);
+
+  LatencyRecorder& txn_latency() { return txn_latency_; }
+  uint64_t txns() const { return txns_; }
+  uint64_t checkpoints() const { return checkpoints_; }
+
+ private:
+  Task<void> WorkerLoop(int id, Nanos until);
+  Task<void> CheckpointLoop(Nanos until);
+
+  StorageStack* stack_;
+  Config config_;
+  std::vector<Process*> worker_procs_;
+  Process* checkpoint_proc_ = nullptr;
+  int64_t data_ino_ = -1;
+  int64_t wal_ino_ = -1;
+  uint64_t wal_offset_ = 0;
+  uint64_t txns_ = 0;
+  uint64_t checkpoints_ = 0;
+  LatencyRecorder txn_latency_;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_APPS_PGSIM_H_

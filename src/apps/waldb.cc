@@ -1,0 +1,50 @@
+#include "src/apps/waldb.h"
+
+#include "src/sim/simulator.h"
+
+namespace splitio {
+
+Task<void> WalDb::Open() {
+  wal_ino_ = co_await stack_->kernel().Creat(*worker_, "/db/wal");
+  table_ino_ = stack_->fs().CreatePreallocated("/db/table",
+                                               config_.table_bytes);
+}
+
+Task<void> WalDb::UpdateOne() {
+  Nanos start = Simulator::current().Now();
+  // Dirty the row's table page (buffered; flushed by checkpointing).
+  uint64_t rows = config_.table_bytes / config_.row_bytes;
+  uint64_t row = rng_.Below(rows);
+  co_await stack_->kernel().Write(*worker_, table_ino_,
+                                  row * config_.row_bytes, config_.row_bytes);
+  ++dirty_rows_;
+  // Commit: append the WAL record and make it durable.
+  co_await stack_->kernel().Write(*worker_, wal_ino_, wal_offset_,
+                                  config_.wal_record_bytes);
+  wal_offset_ += config_.wal_record_bytes;
+  co_await stack_->kernel().Fsync(*worker_, wal_ino_);
+  txn_latency_.Add(Simulator::current().Now() - start);
+  ++txns_;
+}
+
+Task<void> WalDb::RunUpdates(Nanos until) {
+  while (Simulator::current().Now() < until) {
+    co_await UpdateOne();
+  }
+}
+
+Task<void> WalDb::RunCheckpointer(Nanos until) {
+  while (Simulator::current().Now() < until) {
+    if (dirty_rows_ < config_.checkpoint_threshold_rows) {
+      co_await Delay(Msec(10));
+      continue;
+    }
+    dirty_rows_ = 0;
+    co_await stack_->kernel().Fsync(*checkpointer_, table_ino_);
+    // WAL reclaim: start the log over (model: reset the append offset).
+    wal_offset_ = 0;
+    ++checkpoints_;
+  }
+}
+
+}  // namespace splitio

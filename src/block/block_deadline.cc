@@ -1,0 +1,127 @@
+#include "src/block/block_deadline.h"
+
+#include "src/device/device.h"
+
+#include "src/sim/simulator.h"
+
+namespace splitio {
+
+bool BlockDeadlineElevator::TryMerge(const BlockRequestPtr& req) {
+  if (req->is_flush || req->is_journal) {
+    return false;
+  }
+  Dir dir = DirOf(*req);
+  // Find a queued request ending exactly where this one starts.
+  auto it = sorted_[dir].lower_bound(req->sector);
+  if (it == sorted_[dir].begin()) {
+    return false;
+  }
+  --it;
+  BlockRequestPtr& prev = it->second;
+  if (prev->elv_dispatched || prev->is_flush || prev->is_journal ||
+      prev->sector + prev->bytes / kSectorSize != req->sector ||
+      prev->bytes + req->bytes > 1024 * 1024) {
+    return false;
+  }
+  prev->bytes += req->bytes;
+  prev->causes.Merge(req->causes);
+  prev->prelim_charged += req->prelim_charged;
+  prev->merged.push_back(req);
+  return true;
+}
+
+void BlockDeadlineElevator::Add(BlockRequestPtr req) {
+  Dir dir = DirOf(*req);
+  Nanos expiry = dir == kRead ? config_.read_expiry : config_.write_expiry;
+  if (req->submitter != nullptr) {
+    Nanos override_expiry = dir == kRead ? req->submitter->read_deadline()
+                                         : req->submitter->write_deadline();
+    if (override_expiry != kNanosMax) {
+      expiry = override_expiry;
+    }
+  }
+  req->deadline = req->enqueue_time + expiry;
+  sorted_[dir].emplace(req->sector, req);
+  fifo_[dir].push_back(req);
+  ++count_[dir];
+  ++pending_;
+}
+
+BlockRequestPtr BlockDeadlineElevator::Take(Dir dir, BlockRequestPtr req) {
+  req->elv_dispatched = true;
+  // Remove from the sorted index (the FIFO is cleaned lazily).
+  auto [lo, hi] = sorted_[dir].equal_range(req->sector);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == req) {
+      sorted_[dir].erase(it);
+      break;
+    }
+  }
+  --count_[dir];
+  --pending_;
+  next_sector_ = req->sector + req->bytes / kSectorSize;
+  return req;
+}
+
+BlockRequestPtr BlockDeadlineElevator::PopFifo(Dir dir) {
+  while (!fifo_[dir].empty()) {
+    BlockRequestPtr req = fifo_[dir].front();
+    fifo_[dir].pop_front();
+    if (!req->elv_dispatched) {
+      return Take(dir, req);
+    }
+  }
+  return nullptr;
+}
+
+BlockRequestPtr BlockDeadlineElevator::PopSorted(Dir dir, uint64_t from) {
+  if (sorted_[dir].empty()) {
+    return nullptr;
+  }
+  auto it = sorted_[dir].lower_bound(from);
+  if (it == sorted_[dir].end()) {
+    it = sorted_[dir].begin();  // wrap (one-way elevator)
+  }
+  return Take(dir, it->second);
+}
+
+bool BlockDeadlineElevator::FifoExpired(Dir dir) const {
+  Nanos now = Simulator::current().Now();
+  for (const BlockRequestPtr& req : fifo_[dir]) {
+    if (!req->elv_dispatched) {
+      return req->deadline <= now;
+    }
+  }
+  return false;
+}
+
+BlockRequestPtr BlockDeadlineElevator::Next() {
+  if (pending_ == 0) {
+    return nullptr;
+  }
+  // Continue the current batch in sorted order.
+  if (batch_remaining_ > 0 && HasPending(dir_)) {
+    --batch_remaining_;
+    return PopSorted(dir_, next_sector_);
+  }
+  // Choose a direction: reads preferred, writes rescued from starvation.
+  Dir dir;
+  if (HasPending(kRead) &&
+      (!HasPending(kWrite) || starved_ < config_.writes_starved)) {
+    dir = kRead;
+    if (HasPending(kWrite)) {
+      ++starved_;
+    }
+  } else {
+    dir = kWrite;
+    starved_ = 0;
+  }
+  dir_ = dir;
+  batch_remaining_ = config_.fifo_batch - 1;
+  if (FifoExpired(dir)) {
+    return PopFifo(dir);  // jump to the oldest request
+  }
+  return PopSorted(dir, next_sector_);
+}
+
+}  // namespace splitio

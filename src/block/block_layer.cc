@@ -1,0 +1,67 @@
+#include "src/block/block_layer.h"
+
+namespace splitio {
+
+void BlockLayer::Start() { Simulator::current().Spawn(DispatchLoop()); }
+
+void BlockLayer::Submit(BlockRequestPtr req) {
+  req->enqueue_time = Simulator::current().Now();
+  if (req->submitter != nullptr) {
+    int p = req->submitter->priority();
+    if (p >= 0 && p < 8) {
+      ++submitted_by_priority_[static_cast<size_t>(p)];
+    }
+  }
+  ++total_submitted_;
+  if (elevator_->TryMerge(req)) {
+    ++total_merged_;
+    return;  // rides on the container request's completion
+  }
+  elevator_->Add(std::move(req));
+  submit_event_.NotifyAll();
+}
+
+Task<void> BlockLayer::SubmitAndWait(BlockRequestPtr req) {
+  Submit(req);
+  co_await req->done.Wait();
+}
+
+Task<void> BlockLayer::DispatchLoop() {
+  for (;;) {
+    BlockRequestPtr req = elevator_->Next();
+    if (req == nullptr) {
+      Nanos idle = elevator_->IdleHint();
+      if (idle > 0) {
+        bool notified = co_await submit_event_.WaitWithTimeout(idle);
+        if (!notified) {
+          elevator_->OnIdleExpired();
+        }
+      } else {
+        co_await submit_event_.Wait();
+      }
+      continue;
+    }
+    if (req->is_flush) {
+      req->service_time = co_await device_->Flush();
+    } else {
+      DeviceRequest dreq{req->sector, req->bytes, req->is_write};
+      req->service_time = co_await device_->Execute(dreq);
+    }
+    ++total_completed_;
+    elevator_->OnComplete(*req);
+    for (const CompletionHook& hook : completion_hooks_) {
+      hook(*req);
+    }
+    req->done.Set();
+    for (const BlockRequestPtr& child : req->merged) {
+      child->service_time = req->service_time;
+      for (const CompletionHook& hook : completion_hooks_) {
+        hook(*child);
+      }
+      child->done.Set();
+    }
+    req->merged.clear();
+  }
+}
+
+}  // namespace splitio

@@ -1,0 +1,132 @@
+#include "src/block/cfq.h"
+
+#include "src/sim/simulator.h"
+
+namespace splitio {
+
+void CfqElevator::Add(BlockRequestPtr req) {
+  int32_t pid = req->submitter != nullptr ? req->submitter->pid() : -1;
+  ServiceQueue& q = queues_[pid];
+  if (req->submitter != nullptr) {
+    q.io_class = req->submitter->io_class();
+    q.priority = req->submitter->priority();
+  }
+  q.requests.push_back(std::move(req));
+}
+
+IoClass CfqElevator::HighestPendingClass() const {
+  IoClass best = IoClass::kIdle;
+  bool any = false;
+  for (const auto& [pid, q] : queues_) {
+    if (q.requests.empty()) {
+      continue;
+    }
+    any = true;
+    if (q.io_class == IoClass::kRealTime) {
+      return IoClass::kRealTime;
+    }
+    if (q.io_class == IoClass::kBestEffort) {
+      best = IoClass::kBestEffort;
+    }
+  }
+  return any ? best : IoClass::kIdle;
+}
+
+void CfqElevator::SwitchQueue() {
+  // Strict class ordering: real-time preempts best-effort, which preempts
+  // idle (idle runs only when nothing else is pending).
+  IoClass serve_class = HighestPendingClass();
+  // Round-robin: first candidate strictly after current_, wrapping.
+  auto eligible = [&](const ServiceQueue& q) {
+    if (q.requests.empty()) {
+      return false;
+    }
+    return q.io_class == serve_class;
+  };
+  auto start = queues_.upper_bound(current_);
+  for (auto it = start; it != queues_.end(); ++it) {
+    if (eligible(it->second)) {
+      current_ = it->first;
+      slice_remaining_ = config_.base_slice * Weight(it->second.priority);
+      anticipate_until_ = 0;
+      return;
+    }
+  }
+  for (auto it = queues_.begin(); it != start; ++it) {
+    if (eligible(it->second)) {
+      current_ = it->first;
+      slice_remaining_ = config_.base_slice * Weight(it->second.priority);
+      anticipate_until_ = 0;
+      return;
+    }
+  }
+  current_ = -2;
+  slice_remaining_ = 0;
+}
+
+BlockRequestPtr CfqElevator::Next() {
+  auto take = [&](ServiceQueue& q) {
+    BlockRequestPtr req = std::move(q.requests.front());
+    q.requests.pop_front();
+    q.anticipating = req->is_sync && !req->is_write &&
+                     q.io_class == IoClass::kBestEffort;
+    anticipate_until_ = 0;
+    return req;
+  };
+
+  auto it = queues_.find(current_);
+  if (it != queues_.end() && slice_remaining_ > 0) {
+    ServiceQueue& q = it->second;
+    if (!q.requests.empty()) {
+      return take(q);
+    }
+    if (q.anticipating) {
+      // Idle briefly hoping the process issues its next sequential read.
+      Nanos now = Simulator::current().Now();
+      if (anticipate_until_ == 0) {
+        anticipate_until_ = now + config_.idle_window;
+      }
+      if (now < anticipate_until_) {
+        return nullptr;  // dispatch loop consults IdleHint()
+      }
+      q.anticipating = false;
+    }
+  }
+  SwitchQueue();
+  it = queues_.find(current_);
+  if (it == queues_.end()) {
+    return nullptr;
+  }
+  return take(it->second);
+}
+
+Nanos CfqElevator::IdleHint() const {
+  if (anticipate_until_ == 0) {
+    return 0;
+  }
+  Nanos now = Simulator::current().Now();
+  return anticipate_until_ > now ? anticipate_until_ - now : 0;
+}
+
+void CfqElevator::OnIdleExpired() {
+  auto it = queues_.find(current_);
+  if (it != queues_.end()) {
+    it->second.anticipating = false;
+  }
+  anticipate_until_ = 0;
+}
+
+void CfqElevator::OnComplete(const BlockRequest& req) {
+  slice_remaining_ -= req.service_time;
+}
+
+bool CfqElevator::Empty() const {
+  for (const auto& [pid, q] : queues_) {
+    if (!q.requests.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace splitio

@@ -1,0 +1,50 @@
+// Block-level scheduler (elevator) interface — the hooks Linux's block
+// framework exposes (Figure 2a): request add, dispatch, completion. The
+// split framework reuses these hooks unchanged (§4.2 "Block").
+#ifndef SRC_BLOCK_ELEVATOR_H_
+#define SRC_BLOCK_ELEVATOR_H_
+
+#include <string>
+
+#include "src/block/request.h"
+
+namespace splitio {
+
+class Elevator {
+ public:
+  virtual ~Elevator() = default;
+
+  virtual std::string name() const = 0;
+
+  // Attempts to back-merge `req` into a queued adjacent request of the
+  // same kind (Linux-style request merging). Returns true if merged — the
+  // request's completion then rides on the container request.
+  virtual bool TryMerge(const BlockRequestPtr& req) {
+    (void)req;
+    return false;
+  }
+
+  // A request entered the block layer.
+  virtual void Add(BlockRequestPtr req) = 0;
+
+  // Picks the next request to send to the device, or nullptr to idle.
+  virtual BlockRequestPtr Next() = 0;
+
+  // The device finished `req` (service_time is filled in).
+  virtual void OnComplete(const BlockRequest& req) { (void)req; }
+
+  // When Next() returned nullptr but requests may arrive that this scheduler
+  // would prefer over switching (anticipatory idling), returns how long the
+  // dispatch loop should idle before asking again. 0 = no idling.
+  virtual Nanos IdleHint() const { return 0; }
+
+  // The idle window elapsed without a new request.
+  virtual void OnIdleExpired() {}
+
+  // True if the scheduler holds no requests.
+  virtual bool Empty() const = 0;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_BLOCK_ELEVATOR_H_

@@ -1,0 +1,66 @@
+// Block-level request representation.
+//
+// A request carries two identities:
+//  - `submitter`: the process that handed the request to the block layer.
+//    This is all a legacy block-level scheduler can see — for buffered
+//    writes it is the writeback or journal task, which is exactly the
+//    information loss the paper demonstrates (§2.3.1).
+//  - `causes`: the split framework's cross-layer tag identifying the
+//    processes that actually caused the I/O (§3.1). Only split schedulers
+//    consult it.
+#ifndef SRC_BLOCK_REQUEST_H_
+#define SRC_BLOCK_REQUEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/causes.h"
+#include "src/core/process.h"
+#include "src/sim/sync.h"
+#include "src/sim/time.h"
+
+namespace splitio {
+
+struct BlockRequest;
+using BlockRequestPtr = std::shared_ptr<BlockRequest>;
+
+struct BlockRequest {
+  uint64_t sector = 0;
+  uint32_t bytes = 0;
+  bool is_write = false;
+  // True for synchronous reads (a process is blocked on the result); lets
+  // CFQ-style schedulers anticipate the next read from the same process.
+  bool is_sync = false;
+  // Journal commit writes; ordering-critical, never reordered across.
+  bool is_journal = false;
+  // Device cache flush (barrier): no data transfer, orders prior writes
+  // onto stable media.
+  bool is_flush = false;
+
+  Process* submitter = nullptr;
+  CauseSet causes;
+
+  Nanos enqueue_time = 0;
+  Nanos deadline = kNanosMax;
+  Nanos service_time = 0;  // filled in on completion
+
+  // Elevator-private bookkeeping (mirrors Linux's elevator_private): lets a
+  // scheduler that indexes requests in several queues remove lazily.
+  bool elv_dispatched = false;
+
+  // Sum of the preliminary (memory-level) cost charged for the pages in
+  // this write; lets token schedulers revise the estimate at the block
+  // level (§3.2): charge more or refund based on what the I/O really cost.
+  double prelim_charged = 0;
+
+  Latch done;
+
+  // Requests back-merged into this one (their latches fire when this
+  // request completes). Mirrors Linux's request merging.
+  std::vector<BlockRequestPtr> merged;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_BLOCK_REQUEST_H_

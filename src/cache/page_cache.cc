@@ -1,0 +1,209 @@
+#include "src/cache/page_cache.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace splitio {
+
+Page* PageCache::Find(int64_t ino, uint64_t index) {
+  auto it = pages_.find(Key(ino, index));
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+Page& PageCache::InsertClean(int64_t ino, uint64_t index) {
+  uint64_t key = Key(ino, index);
+  auto [it, inserted] = pages_.try_emplace(key);
+  Page& page = it->second;
+  if (inserted) {
+    page.ino = ino;
+    page.index = index;
+    clean_fifo_.push_back(key);
+    EvictCleanIfNeeded();
+  }
+  return page;
+}
+
+void PageCache::EvictCleanIfNeeded() {
+  while (pages_.size() > config_.clean_capacity_pages + dirty_pages_ &&
+         !clean_fifo_.empty()) {
+    uint64_t key = clean_fifo_.front();
+    clean_fifo_.pop_front();
+    auto it = pages_.find(key);
+    if (it == pages_.end() || it->second.dirty || it->second.writeback) {
+      continue;  // stale entry or became dirty; skip
+    }
+    pages_.erase(it);
+  }
+}
+
+Page& PageCache::MarkDirty(Process& dirtier, int64_t ino, uint64_t index) {
+  uint64_t key = Key(ino, index);
+  auto [it, inserted] = pages_.try_emplace(key);
+  Page& page = it->second;
+  if (inserted) {
+    page.ino = ino;
+    page.index = index;
+  }
+  bool was_dirty = page.dirty;
+  CauseSet prev = page.causes;
+  page.causes.Merge(dirtier.Causes());
+  Nanos now = Simulator::current().Now();
+  if (!was_dirty) {
+    page.dirty = true;
+    page.dirtied_at = now;
+    ++dirty_pages_;
+    dirty_index_[ino].emplace(index, now);
+    inode_first_dirty_.try_emplace(ino, now);
+    if (over_background_limit()) {
+      KickWriteback();
+    }
+  }
+  if (hooks_ != nullptr) {
+    hooks_->OnBufferDirty(dirtier, page, was_dirty, prev);
+  }
+  return page;
+}
+
+Task<void> PageCache::ThrottleDirty() {
+  while (dirty_pages_ + writeback_pages_ > dirty_limit_pages()) {
+    KickWriteback();
+    co_await dirty_drained_.Wait();
+  }
+}
+
+void PageCache::MarkWritebackStarted(Page& page) {
+  if (!page.dirty) {
+    return;
+  }
+  page.dirty = false;
+  page.writeback = true;
+  page.causes.Clear();
+  page.prelim_cost = 0;
+  --dirty_pages_;
+  ++writeback_pages_;
+  auto it = dirty_index_.find(page.ino);
+  if (it != dirty_index_.end()) {
+    it->second.erase(page.index);
+    if (it->second.empty()) {
+      dirty_index_.erase(it);
+      inode_first_dirty_.erase(page.ino);
+    }
+  }
+}
+
+void PageCache::MarkWritebackDone(int64_t ino, uint64_t index) {
+  Page* page = Find(ino, index);
+  if (page == nullptr) {
+    return;
+  }
+  if (page->writeback) {
+    page->writeback = false;
+    --writeback_pages_;
+    if (dirty_pages_ + writeback_pages_ <= dirty_limit_pages()) {
+      dirty_drained_.NotifyAll();
+    }
+  }
+  clean_fifo_.push_back(Key(ino, index));
+  EvictCleanIfNeeded();
+}
+
+void PageCache::Free(int64_t ino, uint64_t index) {
+  auto it = pages_.find(Key(ino, index));
+  if (it == pages_.end()) {
+    return;
+  }
+  Page& page = it->second;
+  if (page.dirty) {
+    if (hooks_ != nullptr) {
+      hooks_->OnBufferFree(page);
+    }
+    --dirty_pages_;
+    auto dit = dirty_index_.find(ino);
+    if (dit != dirty_index_.end()) {
+      dit->second.erase(index);
+      if (dit->second.empty()) {
+        dirty_index_.erase(dit);
+        inode_first_dirty_.erase(ino);
+      }
+    }
+    if (dirty_pages_ <= dirty_limit_pages()) {
+      dirty_drained_.NotifyAll();
+    }
+  }
+  pages_.erase(it);
+}
+
+uint64_t PageCache::FreeInode(int64_t ino) {
+  auto dit = dirty_index_.find(ino);
+  uint64_t freed_dirty = 0;
+  if (dit != dirty_index_.end()) {
+    // Copy indices: Free() mutates the map.
+    std::vector<uint64_t> indices;
+    indices.reserve(dit->second.size());
+    for (const auto& [index, when] : dit->second) {
+      indices.push_back(index);
+    }
+    for (uint64_t index : indices) {
+      Free(ino, index);
+      ++freed_dirty;
+    }
+  }
+  return freed_dirty;
+}
+
+uint64_t PageCache::dirty_pages_of(int64_t ino) const {
+  auto it = dirty_index_.find(ino);
+  return it == dirty_index_.end() ? 0 : it->second.size();
+}
+
+const std::map<uint64_t, Nanos>* PageCache::DirtyIndices(int64_t ino) const {
+  auto it = dirty_index_.find(ino);
+  return it == dirty_index_.end() ? nullptr : &it->second;
+}
+
+int64_t PageCache::OldestDirtyInode() const {
+  int64_t best = -1;
+  Nanos best_time = kNanosMax;
+  for (const auto& [ino, when] : inode_first_dirty_) {
+    if (when < best_time) {
+      best_time = when;
+      best = ino;
+    }
+  }
+  return best;
+}
+
+void PageCache::StartWritebackDaemon(FlushFn flush) {
+  if (!config_.writeback_daemon) {
+    return;
+  }
+  Simulator::current().Spawn(WritebackLoop(std::move(flush)));
+}
+
+Task<void> PageCache::WritebackLoop(FlushFn flush) {
+  for (;;) {
+    co_await writeback_kick_.WaitWithTimeout(config_.writeback_interval);
+    // Flush while over the background limit, or flush expired dirty data.
+    for (;;) {
+      Nanos now = Simulator::current().Now();
+      bool over = over_background_limit();
+      int64_t oldest = OldestDirtyInode();
+      bool expired = false;
+      if (oldest >= 0) {
+        auto it = inode_first_dirty_.find(oldest);
+        expired = it != inode_first_dirty_.end() &&
+                  now - it->second >= config_.dirty_expire;
+      }
+      if (oldest < 0 || (!over && !expired)) {
+        break;
+      }
+      uint64_t submitted =
+          co_await flush(oldest, config_.writeback_batch_pages);
+      if (submitted == 0) {
+        break;  // nothing flushable (all under writeback already)
+      }
+    }
+  }
+}
+
+}  // namespace splitio

@@ -1,0 +1,174 @@
+// Page cache with dirty tracking, writeback, and memory-level hooks.
+//
+// Models the Linux page cache as the paper's schedulers see it:
+//  - writes dirty 4 KB pages tagged with their causing processes (§4.1);
+//  - the buffer-dirty and buffer-free hooks notify a split scheduler the
+//    moment write work enters or leaves the system (§4.2 "Memory");
+//  - a writeback daemon (pdflush) flushes dirty data in the background,
+//    acting as an I/O proxy for the original writers;
+//  - processes dirtying pages beyond the dirty ratio are throttled, as in
+//    Linux.
+//
+// The cache also serves reads: pages inserted on read fill are clean and
+// evicted FIFO when the clean capacity is exceeded.
+#ifndef SRC_CACHE_PAGE_CACHE_H_
+#define SRC_CACHE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "src/core/causes.h"
+#include "src/core/process.h"
+#include "src/device/device.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+
+namespace splitio {
+
+struct Page {
+  int64_t ino = 0;
+  uint64_t index = 0;  // 4 KB page index within the file
+  bool dirty = false;
+  bool writeback = false;  // submitted to the block layer, I/O in flight
+  CauseSet causes;
+  Nanos dirtied_at = 0;
+  // Preliminary cost (normalized bytes) charged by a memory-level cost model
+  // when the page was dirtied; revised at the block level (§3.2).
+  double prelim_cost = 0;
+};
+
+// Memory-level scheduler hooks (Table 2: buffer-dirty, buffer-free).
+class PageCacheHooks {
+ public:
+  virtual ~PageCacheHooks() = default;
+
+  // `page.causes` already includes `dirtier`; `prev` holds the causes before
+  // this dirtying (empty for a fresh page). `was_dirty` distinguishes an
+  // overwrite of buffered data from new write work.
+  virtual void OnBufferDirty(Process& dirtier, Page& page, bool was_dirty,
+                             const CauseSet& prev) {
+    (void)dirtier;
+    (void)page;
+    (void)was_dirty;
+    (void)prev;
+  }
+
+  // The page was deleted before writeback (e.g. truncate/unlink).
+  virtual void OnBufferFree(Page& page) { (void)page; }
+};
+
+class PageCache {
+ public:
+  struct Config {
+    uint64_t total_ram = 16ULL << 30;
+    double dirty_ratio = 0.20;
+    double dirty_background_ratio = 0.10;
+    Nanos writeback_interval = Sec(5);
+    Nanos dirty_expire = Sec(30);
+    // Whether the kernel writeback daemon runs. Split-Deadline can disable
+    // it and own writeback itself (§7.1.2).
+    bool writeback_daemon = true;
+    uint64_t clean_capacity_pages = 256 * 1024;  // 1 GB of clean cache
+    // Pages flushed per writeback batch per inode.
+    uint64_t writeback_batch_pages = 2048;
+  };
+
+  PageCache() : PageCache(Config{}) {}
+  explicit PageCache(const Config& config) : config_(config) {}
+
+  void set_hooks(PageCacheHooks* hooks) { hooks_ = hooks; }
+  const Config& config() const { return config_; }
+  void set_dirty_ratio(double ratio) { config_.dirty_ratio = ratio; }
+
+  // ---- Lookup / read path ----
+  Page* Find(int64_t ino, uint64_t index);
+  // Inserts a clean page (read fill), evicting old clean pages if needed.
+  Page& InsertClean(int64_t ino, uint64_t index);
+
+  // ---- Write path ----
+  // Dirties a page on behalf of `dirtier` (whose Causes() — possibly proxy
+  // causes — are merged into the tag) and fires the buffer-dirty hook.
+  Page& MarkDirty(Process& dirtier, int64_t ino, uint64_t index);
+
+  // Blocks the caller while dirty + under-writeback pages exceed the dirty
+  // ratio (as in Linux, pages under writeback still count against the
+  // throttle — otherwise writers could flood the block queue unboundedly).
+  Task<void> ThrottleDirty();
+
+  // ---- Writeback bookkeeping (used by file systems) ----
+  // Marks a page as submitted for writeback: it no longer counts as dirty
+  // and its tag is cleared once the block layer has it (§3.1: proxy tags are
+  // cleared when the proxy finishes submitting).
+  void MarkWritebackStarted(Page& page);
+  void MarkWritebackDone(int64_t ino, uint64_t index);
+
+  // Frees a page (fires buffer-free if it was dirty and unwritten).
+  void Free(int64_t ino, uint64_t index);
+  // Frees every page of `ino`; returns freed dirty pages.
+  uint64_t FreeInode(int64_t ino);
+
+  // ---- Dirty queries ----
+  uint64_t dirty_pages() const { return dirty_pages_; }
+  uint64_t writeback_pages() const { return writeback_pages_; }
+  uint64_t dirty_bytes() const { return dirty_pages_ * kPageSize; }
+  uint64_t dirty_pages_of(int64_t ino) const;
+  uint64_t dirty_bytes_of(int64_t ino) const {
+    return dirty_pages_of(ino) * kPageSize;
+  }
+  // Sorted dirty page indices of an inode (flush order / merging).
+  const std::map<uint64_t, Nanos>* DirtyIndices(int64_t ino) const;
+  uint64_t dirty_limit_pages() const {
+    return static_cast<uint64_t>(
+        config_.dirty_ratio * static_cast<double>(config_.total_ram) /
+        kPageSize);
+  }
+  uint64_t background_limit_pages() const {
+    return static_cast<uint64_t>(config_.dirty_background_ratio *
+                                 static_cast<double>(config_.total_ram) /
+                                 kPageSize);
+  }
+  bool over_background_limit() const {
+    return dirty_pages_ > background_limit_pages();
+  }
+
+  // ---- Writeback daemon ----
+  // `flush` writes back up to N pages of an inode, returning pages
+  // submitted; supplied by the file system at wiring time.
+  using FlushFn =
+      std::function<Task<uint64_t>(int64_t ino, uint64_t max_pages)>;
+  void StartWritebackDaemon(FlushFn flush);
+  void KickWriteback() { writeback_kick_.NotifyAll(); }
+
+  // Inode with the oldest dirty data, or -1 if nothing is dirty.
+  int64_t OldestDirtyInode() const;
+
+  uint64_t pages_resident() const { return pages_.size(); }
+
+ private:
+  static uint64_t Key(int64_t ino, uint64_t index) {
+    return (static_cast<uint64_t>(ino) << 36) | index;
+  }
+
+  Task<void> WritebackLoop(FlushFn flush);
+  void EvictCleanIfNeeded();
+  void NoteClean();
+
+  Config config_;
+  PageCacheHooks* hooks_ = nullptr;
+  std::unordered_map<uint64_t, Page> pages_;
+  // Per-inode dirty index -> dirtied_at (sorted for merging).
+  std::unordered_map<int64_t, std::map<uint64_t, Nanos>> dirty_index_;
+  std::unordered_map<int64_t, Nanos> inode_first_dirty_;
+  uint64_t dirty_pages_ = 0;
+  uint64_t writeback_pages_ = 0;
+  std::deque<uint64_t> clean_fifo_;
+  Event writeback_kick_;
+  Event dirty_drained_;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_CACHE_PAGE_CACHE_H_

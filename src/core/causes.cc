@@ -1,0 +1,10 @@
+#include "src/core/causes.h"
+
+namespace splitio {
+
+TagMemoryAccountant& TagMemoryAccountant::Instance() {
+  static TagMemoryAccountant instance;
+  return instance;
+}
+
+}  // namespace splitio

@@ -1,0 +1,129 @@
+// Cause-set tags (§3.1, §4.1 of the paper).
+//
+// A CauseSet identifies the set of processes responsible for a piece of I/O
+// work (a dirty page, a journal transaction, a block request). Unlike the
+// scalar tags of Differentiated Storage Services, set tags survive batching:
+// when two processes dirty the same page, or a journal transaction commits
+// metadata on behalf of many writers, the union of causes is preserved.
+//
+// The framework's memory overhead (Figure 10) is exactly the memory consumed
+// by these tags, so every CauseSet instance reports its heap footprint to a
+// global accountant.
+#ifndef SRC_CORE_CAUSES_H_
+#define SRC_CORE_CAUSES_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace splitio {
+
+// Tracks current/peak bytes allocated for cause tags across the simulation.
+class TagMemoryAccountant {
+ public:
+  static TagMemoryAccountant& Instance();
+
+  void Add(size_t bytes) {
+    current_ += bytes;
+    peak_ = std::max(peak_, current_);
+  }
+  void Remove(size_t bytes) { current_ -= bytes; }
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+  size_t current_bytes() const { return current_; }
+  size_t peak_bytes() const { return peak_; }
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+class CauseSet {
+ public:
+  CauseSet() = default;
+  CauseSet(std::initializer_list<int32_t> pids) {
+    for (int32_t pid : pids) {
+      Add(pid);
+    }
+  }
+  explicit CauseSet(int32_t pid) { Add(pid); }
+
+  CauseSet(const CauseSet& other) : pids_(other.pids_) { Account(Footprint()); }
+  CauseSet(CauseSet&& other) noexcept : pids_(std::move(other.pids_)) {
+    // Footprint moved along with the allocation; other now reports zero.
+  }
+  CauseSet& operator=(const CauseSet& other) {
+    if (this != &other) {
+      Unaccount(Footprint());
+      pids_ = other.pids_;
+      Account(Footprint());
+    }
+    return *this;
+  }
+  CauseSet& operator=(CauseSet&& other) noexcept {
+    if (this != &other) {
+      Unaccount(Footprint());
+      pids_ = std::move(other.pids_);
+    }
+    return *this;
+  }
+  ~CauseSet() { Unaccount(Footprint()); }
+
+  // Inserts a pid, keeping the set sorted and unique.
+  void Add(int32_t pid) {
+    auto it = std::lower_bound(pids_.begin(), pids_.end(), pid);
+    if (it != pids_.end() && *it == pid) {
+      return;
+    }
+    size_t before = Footprint();
+    pids_.insert(it, pid);
+    Rebalance(before);
+  }
+
+  // Unions `other` into this set.
+  void Merge(const CauseSet& other) {
+    for (int32_t pid : other.pids_) {
+      Add(pid);
+    }
+  }
+
+  void Clear() {
+    Unaccount(Footprint());
+    pids_.clear();
+    pids_.shrink_to_fit();
+  }
+
+  bool Contains(int32_t pid) const {
+    return std::binary_search(pids_.begin(), pids_.end(), pid);
+  }
+
+  bool empty() const { return pids_.empty(); }
+  size_t size() const { return pids_.size(); }
+  const std::vector<int32_t>& pids() const { return pids_; }
+
+  bool operator==(const CauseSet& other) const { return pids_ == other.pids_; }
+
+ private:
+  size_t Footprint() const { return pids_.capacity() * sizeof(int32_t); }
+  void Account(size_t bytes) { TagMemoryAccountant::Instance().Add(bytes); }
+  void Unaccount(size_t bytes) { TagMemoryAccountant::Instance().Remove(bytes); }
+  void Rebalance(size_t before) {
+    size_t after = Footprint();
+    if (after > before) {
+      Account(after - before);
+    } else if (before > after) {
+      Unaccount(before - after);
+    }
+  }
+
+  std::vector<int32_t> pids_;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_CORE_CAUSES_H_

@@ -1,0 +1,88 @@
+// The split-level scheduler interface (§3, §4.2, Table 2).
+//
+// A split scheduler is one object with handlers at three layers:
+//  - system-call hooks (entry points may block the caller by co_awaiting);
+//  - memory hooks (buffer-dirty / buffer-free, inherited from
+//    PageCacheHooks);
+//  - block hooks (the scheduler *is* the block elevator, so it owns request
+//    add/dispatch/complete).
+//
+// Legacy block-only schedulers implement just Elevator; the SCS framework
+// is modeled as a split scheduler that uses only the system-call hooks with
+// a pass-through elevator.
+#ifndef SRC_CORE_SCHEDULER_H_
+#define SRC_CORE_SCHEDULER_H_
+
+#include <string>
+
+#include "src/block/elevator.h"
+#include "src/cache/page_cache.h"
+#include "src/core/process.h"
+#include "src/sim/task.h"
+
+namespace splitio {
+
+class BlockLayer;
+class FileSystem;
+class CpuModel;
+
+// Everything a scheduler may need to reach across layers.
+struct StackContext {
+  BlockLayer* block = nullptr;
+  PageCache* cache = nullptr;
+  FileSystem* fs = nullptr;
+  CpuModel* cpu = nullptr;
+};
+
+enum class MetaOp { kCreat, kMkdir, kUnlink };
+
+class SplitScheduler : public Elevator, public PageCacheHooks {
+ public:
+  ~SplitScheduler() override = default;
+
+  // Called once after the stack is assembled.
+  virtual void Attach(const StackContext& ctx) { ctx_ = ctx; }
+
+  // ---- System-call hooks (Table 2). Entry hooks may block the caller. ----
+  virtual Task<void> OnWriteEntry(Process& proc, int64_t ino, uint64_t offset,
+                                  uint64_t len) {
+    (void)proc, (void)ino, (void)offset, (void)len;
+    co_return;
+  }
+  virtual void OnWriteExit(Process& proc, int64_t ino, uint64_t len) {
+    (void)proc, (void)ino, (void)len;
+  }
+  // The split framework does not schedule reads above the cache (§4.2), but
+  // the SCS baseline does; the hook exists so SCS can be expressed.
+  virtual Task<void> OnReadEntry(Process& proc, int64_t ino, uint64_t offset,
+                                 uint64_t len) {
+    (void)proc, (void)ino, (void)offset, (void)len;
+    co_return;
+  }
+  virtual void OnReadExit(Process& proc, int64_t ino, uint64_t len) {
+    (void)proc, (void)ino, (void)len;
+  }
+  virtual Task<void> OnFsyncEntry(Process& proc, int64_t ino) {
+    (void)proc, (void)ino;
+    co_return;
+  }
+  virtual void OnFsyncExit(Process& proc, int64_t ino) { (void)proc, (void)ino; }
+  virtual Task<void> OnMetaEntry(Process& proc, MetaOp op,
+                                 const std::string& path) {
+    (void)proc, (void)op, (void)path;
+    co_return;
+  }
+
+  // ---- Memory hooks: OnBufferDirty / OnBufferFree from PageCacheHooks ----
+
+  // ---- Block hooks: Elevator::Add / Next / OnComplete, plus this
+  // completion notification which fires even when dispatching is delegated.
+  virtual void OnBlockComplete(const BlockRequest& req) { (void)req; }
+
+ protected:
+  StackContext ctx_;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_CORE_SCHEDULER_H_

@@ -1,0 +1,83 @@
+#include "src/core/storage_stack.h"
+
+#include <cassert>
+
+namespace splitio {
+
+StorageStack::StorageStack(const StackConfig& config, CpuModel* cpu,
+                           std::unique_ptr<SplitScheduler> sched,
+                           std::unique_ptr<Elevator> legacy)
+    : config_(config),
+      cpu_(cpu),
+      sched_(std::move(sched)),
+      legacy_(std::move(legacy)),
+      cache_(config.cache),
+      next_pid_(config.first_pid) {
+  assert((sched_ != nullptr) != (legacy_ != nullptr) &&
+         "provide exactly one of split scheduler / legacy elevator");
+
+  if (config_.device == StackConfig::DeviceKind::kHdd) {
+    device_ = std::make_unique<HddModel>(config_.hdd);
+  } else {
+    device_ = std::make_unique<SsdModel>(config_.ssd);
+  }
+
+  Elevator* elevator =
+      sched_ != nullptr ? static_cast<Elevator*>(sched_.get()) : legacy_.get();
+  block_ = std::make_unique<BlockLayer>(device_.get(), elevator);
+
+  // Kernel task processes. The writeback daemon runs at priority 4, like
+  // Linux's flusher threads — the priority CFQ wrongly attributes buffered
+  // writes to (Figure 3).
+  int32_t kernel_pid_base = config_.first_pid + 9000;
+  writeback_task_ = std::make_unique<Process>(kernel_pid_base, "pdflush");
+  journal_task_ = std::make_unique<Process>(kernel_pid_base + 1, "jbd2");
+  checkpoint_task_ =
+      std::make_unique<Process>(kernel_pid_base + 2, "jbd2-checkpoint");
+  log_task_ = std::make_unique<Process>(kernel_pid_base + 3, "xfs-log");
+
+  if (config_.fs == StackConfig::FsKind::kExt4) {
+    fs_ = std::make_unique<Ext4Sim>(&cache_, block_.get(),
+                                    writeback_task_.get(), journal_task_.get(),
+                                    checkpoint_task_.get(), config_.layout,
+                                    config_.journal);
+  } else {
+    XfsLogConfig log_config = config_.xfs_log;
+    log_config.full_integration = config_.xfs_full_integration;
+    fs_ = std::make_unique<XfsSim>(&cache_, block_.get(),
+                                   writeback_task_.get(), log_task_.get(),
+                                   config_.layout, log_config);
+  }
+
+  kernel_ = std::make_unique<OsKernel>(fs_.get(), &cache_, cpu_, sched_.get(),
+                                       config_.kernel);
+
+  if (sched_ != nullptr) {
+    cache_.set_hooks(sched_.get());
+    StackContext ctx;
+    ctx.block = block_.get();
+    ctx.cache = &cache_;
+    ctx.fs = fs_.get();
+    ctx.cpu = cpu_;
+    sched_->Attach(ctx);
+    block_->set_completion_hook(
+        [this](const BlockRequest& req) { sched_->OnBlockComplete(req); });
+  }
+}
+
+void StorageStack::Start() {
+  block_->Start();
+  if (auto* e4 = ext4()) {
+    e4->Mount();
+  } else if (auto* x = xfs()) {
+    x->Mount();
+  }
+  fs_->StartWriteback();  // no-op if the daemon is disabled in cache config
+}
+
+Process* StorageStack::NewProcess(const std::string& name) {
+  processes_.push_back(std::make_unique<Process>(next_pid_++, name));
+  return processes_.back().get();
+}
+
+}  // namespace splitio

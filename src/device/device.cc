@@ -1,0 +1,81 @@
+#include "src/device/device.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/sim/simulator.h"
+
+namespace splitio {
+
+Nanos HddModel::ServiceTime(const DeviceRequest& req, uint64_t head) const {
+  uint64_t distance =
+      req.sector > head ? req.sector - head : head - req.sector;
+  Nanos positioning = 0;
+  if (distance == 0) {
+    positioning = 0;  // sequential: head already there
+  } else if (distance <= config_.near_threshold) {
+    positioning = config_.min_seek;
+  } else {
+    // Seek time grows with the square root of distance (classic disk model,
+    // Ruemmler & Wilkes), plus average rotational latency (half period).
+    double frac = static_cast<double>(distance) /
+                  static_cast<double>(config_.capacity_sectors);
+    Nanos seek = config_.min_seek +
+                 static_cast<Nanos>(
+                     static_cast<double>(config_.max_seek - config_.min_seek) *
+                     std::sqrt(frac));
+    positioning = seek + config_.rotation_period / 2;
+  }
+  return positioning + TransferTime(req.bytes, config_.sequential_bw);
+}
+
+Task<Nanos> HddModel::Execute(const DeviceRequest& req) {
+  Nanos service = ServiceTime(req, head_);
+  head_ = req.sector + req.bytes / kSectorSize;
+  co_await Delay(service);
+  RecordTraffic(req, service);
+  co_return service;
+}
+
+Nanos HddModel::EstimateCost(const DeviceRequest& req) const {
+  return ServiceTime(req, head_);
+}
+
+Task<Nanos> HddModel::Flush() {
+  co_await Delay(config_.flush_latency);
+  co_return config_.flush_latency;
+}
+
+Nanos SsdModel::ServiceTime(const DeviceRequest& req,
+                            uint64_t last_end) const {
+  if (req.is_write) {
+    Nanos t = config_.write_latency + TransferTime(req.bytes, config_.write_bw);
+    if (req.sector != last_end) {
+      t = static_cast<Nanos>(static_cast<double>(t) *
+                             config_.random_write_penalty);
+    }
+    return t;
+  }
+  return config_.read_latency + TransferTime(req.bytes, config_.read_bw);
+}
+
+Task<Nanos> SsdModel::Execute(const DeviceRequest& req) {
+  Nanos service = ServiceTime(req, last_write_end_);
+  if (req.is_write) {
+    last_write_end_ = req.sector + req.bytes / kSectorSize;
+  }
+  co_await Delay(service);
+  RecordTraffic(req, service);
+  co_return service;
+}
+
+Nanos SsdModel::EstimateCost(const DeviceRequest& req) const {
+  return ServiceTime(req, last_write_end_);
+}
+
+Task<Nanos> SsdModel::Flush() {
+  co_await Delay(config_.flush_latency);
+  co_return config_.flush_latency;
+}
+
+}  // namespace splitio

@@ -1,0 +1,137 @@
+// Storage device models.
+//
+// `BlockDevice` executes one request at a time (queue depth 1) and advances
+// simulated time by the modeled service time. The two models correspond to
+// the paper's testbed: a 7200 RPM hard disk (WD AAKX class) and an early
+// SATA SSD (Intel X25-M class). Absolute numbers are approximate; what the
+// experiments rely on is the *ratio* between sequential and random I/O cost,
+// which these models preserve.
+#ifndef SRC_DEVICE_DEVICE_H_
+#define SRC_DEVICE_DEVICE_H_
+
+#include <cstdint>
+
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace splitio {
+
+inline constexpr uint32_t kSectorSize = 512;
+inline constexpr uint32_t kPageSize = 4096;
+
+struct DeviceRequest {
+  uint64_t sector = 0;
+  uint32_t bytes = 0;
+  bool is_write = false;
+};
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Services the request, advancing simulated time. Returns the service time.
+  virtual Task<Nanos> Execute(const DeviceRequest& req) = 0;
+
+  // Flushes the device write cache (barrier). Returns the service time.
+  virtual Task<Nanos> Flush() = 0;
+
+  // Cost estimate for scheduling decisions; does not change device state.
+  virtual Nanos EstimateCost(const DeviceRequest& req) const = 0;
+
+  virtual bool is_rotational() const = 0;
+  virtual uint64_t capacity_sectors() const = 0;
+
+  // Sustained sequential bandwidth, bytes/second (used by cost models).
+  virtual double sequential_bw() const = 0;
+
+  uint64_t total_bytes_read() const { return bytes_read_; }
+  uint64_t total_bytes_written() const { return bytes_written_; }
+  Nanos busy_time() const { return busy_time_; }
+
+ protected:
+  void RecordTraffic(const DeviceRequest& req, Nanos service) {
+    if (req.is_write) {
+      bytes_written_ += req.bytes;
+    } else {
+      bytes_read_ += req.bytes;
+    }
+    busy_time_ += service;
+  }
+
+ private:
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+  Nanos busy_time_ = 0;
+};
+
+struct HddConfig {
+  // Cost of a device cache flush (0 = write cache disabled / free flush).
+  Nanos flush_latency = 0;
+  uint64_t capacity_sectors = 500ULL * 1000 * 1000 * 1000 / kSectorSize;
+  double sequential_bw = 110.0 * 1000 * 1000;  // bytes/sec
+  Nanos min_seek = Usec(500);                  // track-to-track
+  Nanos max_seek = Msec(14);                   // full stroke
+  Nanos rotation_period = Msec(8) + Usec(333); // 7200 RPM
+  // Requests within this many sectors of the last position count as
+  // near-sequential and skip the seek (settle only).
+  uint64_t near_threshold = 2048;
+};
+
+// Seek + rotation + transfer model with head-position state.
+class HddModel : public BlockDevice {
+ public:
+  explicit HddModel(const HddConfig& config = HddConfig()) : config_(config) {}
+
+  Task<Nanos> Execute(const DeviceRequest& req) override;
+  Task<Nanos> Flush() override;
+  Nanos EstimateCost(const DeviceRequest& req) const override;
+  bool is_rotational() const override { return true; }
+  uint64_t capacity_sectors() const override {
+    return config_.capacity_sectors;
+  }
+  double sequential_bw() const override { return config_.sequential_bw; }
+
+  uint64_t head_position() const { return head_; }
+
+ private:
+  Nanos ServiceTime(const DeviceRequest& req, uint64_t head) const;
+
+  HddConfig config_;
+  uint64_t head_ = 0;
+};
+
+struct SsdConfig {
+  // Cost of a device cache flush (0 = free flush).
+  Nanos flush_latency = 0;
+  uint64_t capacity_sectors = 80ULL * 1000 * 1000 * 1000 / kSectorSize;
+  double read_bw = 250.0 * 1000 * 1000;
+  double write_bw = 170.0 * 1000 * 1000;
+  Nanos read_latency = Usec(60);
+  Nanos write_latency = Usec(90);
+  // Random (non-contiguous) writes pay a modest FTL penalty.
+  double random_write_penalty = 2.0;
+};
+
+class SsdModel : public BlockDevice {
+ public:
+  explicit SsdModel(const SsdConfig& config = SsdConfig()) : config_(config) {}
+
+  Task<Nanos> Execute(const DeviceRequest& req) override;
+  Task<Nanos> Flush() override;
+  Nanos EstimateCost(const DeviceRequest& req) const override;
+  bool is_rotational() const override { return false; }
+  uint64_t capacity_sectors() const override {
+    return config_.capacity_sectors;
+  }
+  double sequential_bw() const override { return config_.read_bw; }
+
+ private:
+  Nanos ServiceTime(const DeviceRequest& req, uint64_t last_end) const;
+
+  SsdConfig config_;
+  uint64_t last_write_end_ = 0;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_DEVICE_DEVICE_H_

@@ -1,0 +1,75 @@
+#include "src/device/trace.h"
+
+#include "src/sim/simulator.h"
+
+namespace splitio {
+
+void IoTracer::Attach(BlockLayer* block) {
+  block->add_completion_hook([this](const BlockRequest& req) {
+    TraceEntry entry;
+    entry.enqueue_time = req.enqueue_time;
+    entry.complete_time = Simulator::current().Now();
+    entry.sector = req.sector;
+    entry.bytes = req.bytes;
+    entry.is_write = req.is_write;
+    entry.is_journal = req.is_journal;
+    entry.is_flush = req.is_flush;
+    entry.service_time = req.service_time;
+    entry.submitter = req.submitter != nullptr ? req.submitter->pid() : -1;
+    entry.causes = req.causes.pids();
+    entries_.push_back(std::move(entry));
+  });
+}
+
+void IoTracer::WriteCsv(std::ostream& out) const {
+  out << "enqueue_ns,complete_ns,sector,bytes,rw,journal,flush,service_ns,"
+         "submitter,causes\n";
+  for (const TraceEntry& e : entries_) {
+    out << e.enqueue_time << ',' << e.complete_time << ',' << e.sector << ','
+        << e.bytes << ',' << (e.is_write ? 'W' : 'R') << ','
+        << (e.is_journal ? 1 : 0) << ',' << (e.is_flush ? 1 : 0) << ','
+        << e.service_time << ',' << e.submitter << ',';
+    for (size_t i = 0; i < e.causes.size(); ++i) {
+      if (i > 0) {
+        out << '|';
+      }
+      out << e.causes[i];
+    }
+    out << '\n';
+  }
+}
+
+std::map<int32_t, IoTracer::PerCause> IoTracer::SummarizeByCause() const {
+  std::map<int32_t, PerCause> summary;
+  for (const TraceEntry& e : entries_) {
+    if (e.causes.empty()) {
+      continue;
+    }
+    Nanos share = e.service_time / static_cast<Nanos>(e.causes.size());
+    uint64_t byte_share = e.bytes / e.causes.size();
+    for (int32_t pid : e.causes) {
+      PerCause& pc = summary[pid];
+      ++pc.requests;
+      pc.bytes += byte_share;
+      pc.device_time += share;
+    }
+  }
+  return summary;
+}
+
+double IoTracer::SequentialFraction() const {
+  if (entries_.size() < 2) {
+    return entries_.empty() ? 0.0 : 1.0;
+  }
+  uint64_t sequential = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    const TraceEntry& prev = entries_[i - 1];
+    if (entries_[i].sector == prev.sector + prev.bytes / kSectorSize) {
+      ++sequential;
+    }
+  }
+  return static_cast<double>(sequential) /
+         static_cast<double>(entries_.size() - 1);
+}
+
+}  // namespace splitio

@@ -1,0 +1,120 @@
+// Copy-on-write file system model ("btrfs-like").
+//
+// The paper (§2.3.4, §6) argues its problems and framework generalize
+// beyond journaling: copy-on-write file systems impose ordering through
+// checkpointing instead of a journal, and their *garbage collector* is
+// another proxy mechanism that must be tagged for split scheduling to
+// account correctly.
+//
+// Model:
+//  - data is never overwritten in place: every flush allocates fresh space
+//    at the log head (out-of-place), making even random overwrites
+//    sequential on disk — and leaving dead space behind;
+//  - fsync forces a *checkpoint*: a metadata tree write that batches every
+//    pending tree update (the COW analogue of journal entanglement);
+//  - a garbage collector migrates live pages out of fragmented segments.
+//    With `tag_gc_proxy` (full integration) the GC task is a proxy for the
+//    processes whose data it moves; without it, GC I/O is unattributed —
+//    the same partial-integration gap as XFS's log task (Figure 17).
+#ifndef SRC_FS_COWFS_H_
+#define SRC_FS_COWFS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/fs/filesystem.h"
+
+namespace splitio {
+
+struct CowConfig {
+  uint64_t segment_pages = 2048;  // 8 MB segments
+  // Run the garbage collector when free segments drop below this fraction.
+  double gc_threshold = 0.25;
+  uint64_t total_segments = 4096;  // 32 GB log space
+  Nanos checkpoint_interval = Sec(30);
+  // Whether the GC task is tagged as a proxy for the data's real causes.
+  bool tag_gc_proxy = true;
+};
+
+class CowFsSim : public FsBase {
+ public:
+  CowFsSim(PageCache* cache, BlockLayer* block, Process* writeback_task,
+           Process* checkpoint_task, Process* gc_task,
+           const Layout& layout = Layout(),
+           const CowConfig& cow_config = CowConfig());
+
+  std::string name() const override { return "cowfs"; }
+
+  void Mount();
+
+  Task<void> Fsync(Process& proc, int64_t ino) override;
+
+  uint64_t checkpoints() const { return checkpoints_; }
+  uint64_t gc_runs() const { return gc_runs_; }
+  uint64_t gc_pages_moved() const { return gc_pages_moved_; }
+  uint64_t live_segments() const;
+  double log_utilization() const;
+
+ protected:
+  void JournalMetadata(Process& cause, int64_t ino, int blocks) override;
+  void NoteOrderedData(Process& proc, int64_t ino) override {
+    (void)proc, (void)ino;  // no ordered-data entanglement: COW, not journal
+  }
+
+  // COW allocation: ignore the base allocator; every flush goes to the log
+  // head.
+  Task<uint64_t> WritebackInode(int64_t ino, uint64_t max_pages) override;
+
+ public:
+  // Out-of-place flush used by both fsync and writeback: allocates at the
+  // log head, remaps extents, and marks the old locations dead.
+  Task<uint64_t> CowFlush(Process& submitter, int64_t ino,
+                          uint64_t max_pages, bool wait);
+
+ private:
+  struct Segment {
+    uint64_t base_sector = 0;
+    uint32_t live = 0;   // live pages
+    uint32_t used = 0;   // allocated slots
+    // Owners of the live pages (for GC proxy tagging).
+    CauseSet owners;
+  };
+
+  struct PendingMeta {
+    int blocks;
+    CauseSet causes;
+  };
+
+  uint64_t AllocateCowPage(Inode& inode, uint64_t page_index,
+                           const CauseSet& causes);
+  void MarkDead(uint64_t sector);
+  Task<void> Checkpoint(Process& initiator);
+  Task<void> CheckpointLoop();
+  Task<void> GcLoop();
+  Task<void> CollectSegment(size_t seg_idx);
+  size_t SegmentOf(uint64_t sector) const;
+
+  Process* checkpoint_task_;
+  Process* gc_task_;
+  CowConfig cow_;
+  std::vector<Segment> segments_;
+  size_t head_segment_ = 0;
+  uint64_t head_offset_ = 0;  // pages used in the head segment
+  std::deque<PendingMeta> pending_meta_;
+  CauseSet pending_causes_;
+  int pending_blocks_ = 0;
+  bool checkpointing_ = false;
+  Event checkpoint_done_;
+  Event gc_kick_;
+  uint64_t checkpoints_ = 0;
+  uint64_t gc_runs_ = 0;
+  uint64_t gc_pages_moved_ = 0;
+  // sector -> (ino, page index) for live-page migration.
+  std::unordered_map<uint64_t, std::pair<int64_t, uint64_t>> reverse_map_;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_FS_COWFS_H_

@@ -1,0 +1,46 @@
+#include "src/fs/ext4.h"
+
+namespace splitio {
+
+Ext4Sim::Ext4Sim(PageCache* cache, BlockLayer* block, Process* writeback_task,
+                 Process* journal_task, Process* checkpoint_task,
+                 const Layout& layout, const Jbd2Journal::Config& jconfig)
+    : FsBase(cache, block, writeback_task, layout),
+      journal_(block, journal_task, checkpoint_task, [&] {
+        Jbd2Journal::Config c = jconfig;
+        c.journal_start_sector = layout.journal_start;
+        c.journal_sectors = layout.journal_sectors;
+        c.metadata_area_sector = layout.metadata_start;
+        return c;
+      }()) {
+  (void)journal_task;
+  journal_.set_flush_ordered_fn([this](int64_t ino) -> Task<uint64_t> {
+    // Ordered mode: the commit must wait for the data referenced by the
+    // transaction's metadata. Under delayed allocation that data was
+    // submitted at the moment it was allocated (writeback/fsync), so the
+    // commit waits for in-flight writeback of the inode — it does NOT
+    // flush still-buffered dirty data, whose allocation belongs to a
+    // future transaction. Snapshot semantics: wait for what is in flight
+    // now, not for flushers that keep submitting.
+    co_await WaitInflightSnapshot(ino);
+    co_return 0;
+  });
+}
+
+void Ext4Sim::Mount() { journal_.Start(); }
+
+Task<void> Ext4Sim::Fsync(Process& proc, int64_t ino) {
+  // 1. Write the file's own dirty data (the caller performs this I/O, so it
+  //    is attributed to the caller).
+  co_await FlushInodeData(proc, ino, kNoPageLimit, /*wait=*/true);
+  // 2. If the file's metadata is part of the running transaction, force a
+  //    commit — dragging in every ordered inode batched with it. If the
+  //    relevant transaction is already committing, wait for it.
+  if (journal_.InodeInRunningTx(ino)) {
+    co_await journal_.CommitRunningAndWait();
+  } else if (journal_.InodeInCommittingTx(ino)) {
+    co_await journal_.WaitCommitting();
+  }
+}
+
+}  // namespace splitio

@@ -1,0 +1,45 @@
+// ext4 model: ordered-mode journaling via Jbd2Journal plus delayed
+// allocation from FsBase. Fully integrated with the split framework: the
+// writeback, journal, and checkpoint tasks are all tagged as proxies.
+#ifndef SRC_FS_EXT4_H_
+#define SRC_FS_EXT4_H_
+
+#include <memory>
+#include <string>
+
+#include "src/fs/filesystem.h"
+#include "src/fs/journal.h"
+
+namespace splitio {
+
+class Ext4Sim : public FsBase {
+ public:
+  Ext4Sim(PageCache* cache, BlockLayer* block, Process* writeback_task,
+          Process* journal_task, Process* checkpoint_task,
+          const Layout& layout = Layout(),
+          const Jbd2Journal::Config& jconfig = Jbd2Journal::Config());
+
+  std::string name() const override { return "ext4"; }
+
+  // Starts journal background tasks (commit timer, checkpointer).
+  void Mount();
+
+  Task<void> Fsync(Process& proc, int64_t ino) override;
+
+  Jbd2Journal& journal() { return journal_; }
+
+ protected:
+  void JournalMetadata(Process& cause, int64_t ino, int blocks) override {
+    journal_.JoinMetadata(cause, ino, blocks);
+  }
+  void NoteOrderedData(Process& proc, int64_t ino) override {
+    journal_.AddOrderedInode(proc, ino);
+  }
+
+ private:
+  Jbd2Journal journal_;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_FS_EXT4_H_

@@ -1,0 +1,348 @@
+#include "src/fs/filesystem.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace splitio {
+
+FsBase::FsBase(PageCache* cache, BlockLayer* block, Process* writeback_task,
+               const Layout& layout)
+    : cache_(cache),
+      block_(block),
+      writeback_task_(writeback_task),
+      layout_(layout),
+      allocator_(layout.data_start, layout.alloc_chunk_pages) {}
+
+int64_t FsBase::NewInode(const std::string& path, bool is_dir) {
+  int64_t ino = next_ino_++;
+  Inode& inode = inodes_[ino];
+  inode.ino = ino;
+  inode.path = path;
+  inode.is_dir = is_dir;
+  paths_[path] = ino;
+  return ino;
+}
+
+Inode* FsBase::GetInode(int64_t ino) {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+const Inode* FsBase::GetInode(int64_t ino) const {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+int64_t FsBase::Lookup(const std::string& path) const {
+  auto it = paths_.find(path);
+  return it == paths_.end() ? -1 : it->second;
+}
+
+uint64_t FsBase::FileSize(int64_t ino) const {
+  const Inode* inode = GetInode(ino);
+  return inode == nullptr ? 0 : inode->size;
+}
+
+Task<int64_t> FsBase::Create(Process& proc, const std::string& path) {
+  int64_t existing = Lookup(path);
+  if (existing >= 0) {
+    co_return existing;
+  }
+  int64_t ino = NewInode(path, /*is_dir=*/false);
+  // Directory entry + inode: two metadata blocks.
+  JournalMetadata(proc, ino, 2);
+  co_return ino;
+}
+
+Task<int64_t> FsBase::Mkdir(Process& proc, const std::string& path) {
+  int64_t existing = Lookup(path);
+  if (existing >= 0) {
+    co_return existing;
+  }
+  int64_t ino = NewInode(path, /*is_dir=*/true);
+  JournalMetadata(proc, ino, 2);
+  co_return ino;
+}
+
+Task<void> FsBase::Unlink(Process& proc, int64_t ino) {
+  Inode* inode = GetInode(ino);
+  if (inode == nullptr || inode->deleted) {
+    co_return;
+  }
+  // Dirty pages vanish before writeback: fire buffer-free hooks.
+  cache_->FreeInode(ino);
+  inode->deleted = true;
+  paths_.erase(inode->path);
+  JournalMetadata(proc, ino, 2);
+}
+
+Task<uint64_t> FsBase::Read(Process& proc, int64_t ino, uint64_t offset,
+                            uint64_t len) {
+  Inode* inode = GetInode(ino);
+  if (inode == nullptr || len == 0) {
+    co_return 0;
+  }
+  uint64_t first = offset / kPageSize;
+  uint64_t last = (offset + len - 1) / kPageSize;
+
+  // Readahead: a read continuing where the previous one ended is part of a
+  // sequential stream — fetch a window beyond it (the pages land clean in
+  // the cache and are free when the stream reaches them).
+  if (layout_.readahead_pages > 0) {
+    auto [it, inserted] = last_read_end_.try_emplace(ino, 0);
+    bool sequential = !inserted && it->second == first;
+    it->second = last + 1;
+    if (sequential && inode->size > 0) {
+      uint64_t eof_page = (inode->size - 1) / kPageSize;
+      last = std::min<uint64_t>(last + layout_.readahead_pages, eof_page);
+    }
+  }
+
+  // Walk pages, batching contiguous cache misses into large reads.
+  uint64_t run_start = 0;
+  uint64_t run_sector = 0;
+  uint32_t run_pages = 0;
+  auto submit_run = [&]() -> Task<void> {
+    auto req = std::make_shared<BlockRequest>();
+    req->sector = run_sector;
+    req->bytes = run_pages * kPageSize;
+    req->is_write = false;
+    req->is_sync = true;
+    req->submitter = &proc;
+    req->causes = proc.Causes();
+    co_await block_->SubmitAndWait(req);
+    for (uint32_t i = 0; i < run_pages; ++i) {
+      cache_->InsertClean(ino, run_start + i);
+    }
+  };
+
+  for (uint64_t idx = first; idx <= last; ++idx) {
+    bool hit = cache_->Find(ino, idx) != nullptr;
+    uint64_t sector = 0;
+    if (!hit) {
+      auto ext = inode->extents.find(idx);
+      if (ext == inode->extents.end()) {
+        hit = true;  // hole: zero-fill, no device I/O
+        cache_->InsertClean(ino, idx);
+      } else {
+        sector = ext->second;
+      }
+    }
+    bool contiguous =
+        run_pages > 0 &&
+        sector == run_sector + run_pages * (kPageSize / kSectorSize) &&
+        run_pages < layout_.max_request_pages;
+    if (!hit && contiguous) {
+      ++run_pages;
+      continue;
+    }
+    if (run_pages > 0) {
+      co_await submit_run();
+      run_pages = 0;
+    }
+    if (!hit) {
+      run_start = idx;
+      run_sector = sector;
+      run_pages = 1;
+    }
+  }
+  if (run_pages > 0) {
+    co_await submit_run();
+  }
+  co_return len;
+}
+
+Task<uint64_t> FsBase::Write(Process& proc, int64_t ino, uint64_t offset,
+                             uint64_t len) {
+  Inode* inode = GetInode(ino);
+  if (inode == nullptr || len == 0) {
+    co_return 0;
+  }
+  uint64_t first = offset / kPageSize;
+  uint64_t last = (offset + len - 1) / kPageSize;
+  for (uint64_t idx = first; idx <= last; ++idx) {
+    cache_->MarkDirty(proc, ino, idx);
+  }
+  inode->size = std::max(inode->size, offset + len);
+  // Delayed allocation: no metadata is journaled here; allocation (and the
+  // resulting transaction entanglement) happens at writeback/fsync time.
+  co_await cache_->ThrottleDirty();
+  co_return len;
+}
+
+Task<uint64_t> FsBase::FlushInodeData(Process& submitter, int64_t ino,
+                                      uint64_t max_pages, bool wait) {
+  Inode* inode = GetInode(ino);
+  if (inode == nullptr) {
+    co_return 0;
+  }
+  const std::map<uint64_t, Nanos>* dirty = cache_->DirtyIndices(ino);
+  std::vector<uint64_t> indices;
+  if (dirty != nullptr) {
+    indices.reserve(std::min<uint64_t>(max_pages, dirty->size()));
+    for (const auto& [idx, when] : *dirty) {
+      if (indices.size() >= max_pages) {
+        break;
+      }
+      indices.push_back(idx);
+    }
+  }
+  if (indices.empty()) {
+    if (wait) {
+      co_await WaitInflight(ino);
+    }
+    co_return 0;
+  }
+
+  // Delayed allocation: assign disk locations now and journal the metadata.
+  int alloc_pages = 0;
+  for (uint64_t idx : indices) {
+    if (inode->extents.find(idx) == inode->extents.end()) {
+      inode->extents.emplace(idx, allocator_.AllocatePage(*inode, idx));
+      ++alloc_pages;
+    }
+  }
+  if (alloc_pages > 0) {
+    // Extent records: one metadata block per ~512 allocated pages, plus the
+    // inode itself.
+    JournalMetadata(submitter, ino, 1 + alloc_pages / 512);
+    NoteOrderedData(submitter, ino);
+  }
+
+  // Merge contiguous (index, sector) runs into large write requests.
+  uint64_t run_start = 0;
+  uint64_t run_sector = 0;
+  uint32_t run_pages = 0;
+  CauseSet run_causes;
+  double run_prelim = 0;
+  auto submit_run = [&]() {
+    auto req = std::make_shared<BlockRequest>();
+    req->sector = run_sector;
+    req->bytes = run_pages * kPageSize;
+    req->is_write = true;
+    // A process flushing its own file (fsync path) has someone blocked on
+    // the result; background writeback (proxy) does not. Schedulers may
+    // prioritize accordingly.
+    req->is_sync = !submitter.is_proxy();
+    req->submitter = &submitter;
+    req->causes = run_causes;
+    req->prelim_charged = run_prelim;
+    BeginInflight(ino);
+    block_->Submit(req);
+    Simulator::current().Spawn(
+        WatchWritebackCompletion(req, ino, run_start, run_pages));
+  };
+
+  for (uint64_t idx : indices) {
+    Page* page = cache_->Find(ino, idx);
+    if (page == nullptr || !page->dirty) {
+      continue;  // freed or raced with another flusher
+    }
+    uint64_t sector = inode->extents.at(idx);
+    bool contiguous =
+        run_pages > 0 &&
+        sector == run_sector + run_pages * (kPageSize / kSectorSize) &&
+        run_pages < layout_.max_request_pages;
+    if (!contiguous && run_pages > 0) {
+      submit_run();
+      run_pages = 0;
+      run_causes.Clear();
+      run_prelim = 0;
+    }
+    if (run_pages == 0) {
+      run_start = idx;
+      run_sector = sector;
+    }
+    run_causes.Merge(page->causes);
+    run_prelim += page->prelim_cost;
+    cache_->MarkWritebackStarted(*page);
+    ++run_pages;
+  }
+  if (run_pages > 0) {
+    submit_run();
+  }
+  if (wait) {
+    co_await WaitInflight(ino);
+  }
+  co_return indices.size();
+}
+
+void FsBase::BeginInflight(int64_t ino) {
+  InflightState& state = inflight_[ino];
+  ++state.count;
+  ++state.submitted;
+}
+
+Task<void> FsBase::WatchWritebackCompletion(BlockRequestPtr req, int64_t ino,
+                                            uint64_t first_page,
+                                            uint32_t npages) {
+  co_await req->done.Wait();
+  for (uint32_t i = 0; i < npages; ++i) {
+    cache_->MarkWritebackDone(ino, first_page + i);
+  }
+  InflightState& state = inflight_[ino];
+  --state.count;
+  ++state.completed;
+  state.done.NotifyAll();
+}
+
+Task<void> FsBase::WaitInflight(int64_t ino) {
+  InflightState& state = inflight_[ino];
+  while (state.count > 0) {
+    co_await state.done.Wait();
+  }
+}
+
+Task<void> FsBase::WaitInflightSnapshot(int64_t ino) {
+  InflightState& state = inflight_[ino];
+  uint64_t target = state.submitted;
+  while (state.completed < target) {
+    co_await state.done.Wait();
+  }
+}
+
+Task<uint64_t> FsBase::WritebackInode(int64_t ino, uint64_t max_pages) {
+  // The writeback daemon is an I/O proxy (§3.1): it inherits the causes of
+  // the pages it writes back, so allocation metadata and block requests are
+  // attributed to the original writers.
+  const std::map<uint64_t, Nanos>* dirty = cache_->DirtyIndices(ino);
+  if (dirty == nullptr || dirty->empty()) {
+    co_return 0;
+  }
+  CauseSet served;
+  uint64_t counted = 0;
+  for (const auto& [idx, when] : *dirty) {
+    if (counted >= max_pages) {
+      break;
+    }
+    Page* page = cache_->Find(ino, idx);
+    if (page != nullptr) {
+      served.Merge(page->causes);
+    }
+    ++counted;
+  }
+  writeback_task_->BeginProxy(served);
+  uint64_t submitted =
+      co_await FlushInodeData(*writeback_task_, ino, max_pages, false);
+  writeback_task_->EndProxy();
+  co_return submitted;
+}
+
+int64_t FsBase::CreatePreallocated(const std::string& path, uint64_t bytes) {
+  int64_t ino = NewInode(path, /*is_dir=*/false);
+  Inode& inode = inodes_[ino];
+  inode.size = bytes;
+  uint64_t pages = (bytes + kPageSize - 1) / kPageSize;
+  for (uint64_t idx = 0; idx < pages; ++idx) {
+    inode.extents.emplace(idx, allocator_.AllocatePage(inode, idx));
+  }
+  return ino;
+}
+
+void FsBase::StartWriteback() {
+  cache_->StartWritebackDaemon([this](int64_t ino, uint64_t max_pages) {
+    return WritebackInode(ino, max_pages);
+  });
+}
+
+}  // namespace splitio

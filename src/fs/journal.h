@@ -1,0 +1,127 @@
+// jbd2-style journal for the ext4 model (§2.3.2, Figure 4).
+//
+// Metadata updates join the single *running* transaction; the transaction
+// accumulates the set of causing processes and, in ordered mode, the set of
+// inodes whose newly-allocated data must reach disk before the commit
+// record. Commit is single-threaded (one committing transaction at a time):
+// an fsync that needs the running transaction durable must wait for any
+// in-flight commit first, then flush every ordered inode's data — including
+// other processes' — then write the journal sequentially. This is exactly
+// the entanglement that defeats block-level schedulers (Figure 5).
+//
+// Committed metadata is checkpointed in place later by a background task.
+// Both the journal writer and the checkpointer are tagged as I/O proxies for
+// the true causes (§4.1).
+#ifndef SRC_FS_JOURNAL_H_
+#define SRC_FS_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "src/block/block_layer.h"
+#include "src/core/causes.h"
+#include "src/core/process.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+
+namespace splitio {
+
+class Jbd2Journal {
+ public:
+  struct Config {
+    Nanos commit_interval = Sec(5);
+    uint64_t journal_start_sector = 16ULL << 20 >> 9;
+    uint64_t journal_sectors = 256ULL << 20 >> 9;
+    // Checkpoint when this many committed metadata blocks accumulate.
+    int checkpoint_threshold_blocks = 4096;
+    Nanos checkpoint_interval = Sec(30);
+    uint64_t metadata_area_sector = 1ULL << 20 >> 9;
+  };
+
+  // `flush_ordered` waits until the inode's in-flight ordered data is
+  // durable (supplied by the file system).
+  using FlushOrderedFn = std::function<Task<uint64_t>(int64_t ino)>;
+
+  Jbd2Journal(BlockLayer* block, Process* journal_task,
+              Process* checkpoint_task, const Config& config)
+      : block_(block),
+        journal_task_(journal_task),
+        checkpoint_task_(checkpoint_task),
+        config_(config),
+        running_(std::make_shared<Tx>(next_tid_++)) {}
+
+  void set_flush_ordered_fn(FlushOrderedFn fn) {
+    flush_ordered_ = std::move(fn);
+  }
+
+  // Spawns the periodic commit and checkpoint tasks.
+  void Start();
+
+  // A metadata update by `cause` (possibly a proxy) touching `ino` joins the
+  // running transaction.
+  void JoinMetadata(Process& cause, int64_t ino, int blocks);
+
+  // Ordered mode: `ino`'s newly allocated data must be flushed before the
+  // running transaction commits.
+  void AddOrderedInode(Process& cause, int64_t ino);
+
+  bool InodeInRunningTx(int64_t ino) const;
+  bool InodeInCommittingTx(int64_t ino) const;
+  bool RunningTxHasUpdates() const { return running_->has_updates; }
+
+  // Commits the current running transaction and waits for durability
+  // (fsync path). Waits behind any in-flight commit first.
+  Task<void> CommitRunningAndWait();
+
+  // Waits for the in-flight commit, if any.
+  Task<void> WaitCommitting();
+
+  uint64_t commits_done() const { return commits_done_; }
+  uint64_t journal_bytes_written() const { return journal_bytes_written_; }
+
+ private:
+  struct Tx {
+    explicit Tx(uint64_t tid) : id(tid) {}
+    uint64_t id;
+    bool has_updates = false;
+    int meta_blocks = 0;
+    CauseSet causes;
+    std::set<int64_t> ordered_inodes;
+    std::set<int64_t> meta_inodes;
+    Latch committed;
+  };
+
+  Task<void> DoCommit(std::shared_ptr<Tx> tx);
+  Task<void> CommitLoop();
+  Task<void> CheckpointLoop();
+  Task<void> WriteJournalRecord(const Tx& tx);
+
+  BlockLayer* block_;
+  Process* journal_task_;
+  Process* checkpoint_task_;
+  Config config_;
+  FlushOrderedFn flush_ordered_;
+  uint64_t next_tid_ = 1;
+  std::shared_ptr<Tx> running_;
+  std::shared_ptr<Tx> committing_;
+  Event commit_done_;
+  uint64_t journal_cursor_ = 0;  // offset within the journal area (sectors)
+  uint64_t commits_done_ = 0;
+  uint64_t journal_bytes_written_ = 0;
+
+  struct CheckpointEntry {
+    int blocks;
+    CauseSet causes;
+    uint64_t tid;
+  };
+  std::deque<CheckpointEntry> checkpoint_backlog_;
+  int backlog_blocks_ = 0;
+  Event checkpoint_kick_;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_FS_JOURNAL_H_

@@ -1,0 +1,141 @@
+// Measurement helpers: latency percentiles, throughput, time series.
+#ifndef SRC_METRICS_STATS_H_
+#define SRC_METRICS_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace splitio {
+
+// Records individual samples (latencies, sizes) and reports order statistics.
+class LatencyRecorder {
+ public:
+  void Add(Nanos sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  // p in [0, 100]. Returns 0 for an empty recorder.
+  Nanos Percentile(double p) {
+    if (samples_.empty()) {
+      return 0;
+    }
+    EnsureSorted();
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    auto idx = static_cast<size_t>(rank);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  Nanos Max() {
+    if (samples_.empty()) {
+      return 0;
+    }
+    EnsureSorted();
+    return samples_.back();
+  }
+
+  double MeanMillis() const {
+    if (samples_.empty()) {
+      return 0;
+    }
+    double sum = 0;
+    for (Nanos s : samples_) {
+      sum += ToMillis(s);
+    }
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  const std::vector<Nanos>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<Nanos> samples_;
+  bool sorted_ = true;
+};
+
+// Accumulates bytes moved and reports MB/s over the elapsed interval.
+class ThroughputMeter {
+ public:
+  void Start(Nanos now) { start_ = now; }
+  void AddBytes(uint64_t bytes) { bytes_ += bytes; }
+
+  uint64_t bytes() const { return bytes_; }
+
+  double MBps(Nanos now) const {
+    Nanos elapsed = now - start_;
+    if (elapsed <= 0) {
+      return 0;
+    }
+    return static_cast<double>(bytes_) / (1024.0 * 1024.0) /
+           ToSeconds(elapsed);
+  }
+
+  void Reset(Nanos now) {
+    start_ = now;
+    bytes_ = 0;
+  }
+
+ private:
+  Nanos start_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+// (time, value) series, e.g. throughput sampled once per simulated second.
+class TimeSeries {
+ public:
+  void Add(Nanos t, double value) { points_.emplace_back(t, value); }
+  const std::vector<std::pair<Nanos, double>>& points() const {
+    return points_;
+  }
+
+ private:
+  std::vector<std::pair<Nanos, double>> points_;
+};
+
+// Summary statistics over a set of values.
+struct Summary {
+  double mean = 0;
+  double stdev = 0;
+  double min = 0;
+  double max = 0;
+};
+
+inline Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) {
+    return s;
+  }
+  double sum = 0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0;
+  for (double v : values) {
+    var += (v - s.mean) * (v - s.mean);
+  }
+  s.stdev = std::sqrt(var / static_cast<double>(values.size()));
+  return s;
+}
+
+}  // namespace splitio
+
+#endif  // SRC_METRICS_STATS_H_

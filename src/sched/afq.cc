@@ -1,0 +1,259 @@
+#include "src/sched/afq.h"
+
+#include <limits>
+
+#include "src/block/block_layer.h"
+#include "src/device/device.h"
+#include "src/sim/simulator.h"
+
+namespace splitio {
+
+void AfqScheduler::Register(Process& proc) {
+  auto [it, inserted] = procs_.try_emplace(proc.pid(), &proc);
+  if (inserted) {
+    stride_.SetWeight(proc.pid(), Weight(proc));
+  }
+}
+
+double AfqScheduler::MinActivePass() {
+  if (active_.empty()) {
+    return 0;
+  }
+  return stride_.MinPass(active_);
+}
+
+void AfqScheduler::Attach(const StackContext& ctx) {
+  SplitScheduler::Attach(ctx);
+  Simulator::current().Spawn(Housekeep());
+}
+
+void AfqScheduler::NoteActivity(int32_t pid) {
+  last_activity_[pid] = Simulator::current().Now();
+}
+
+Task<void> AfqScheduler::Housekeep() {
+  // Periodically deactivate processes that stopped issuing I/O so the pass
+  // floor tracks the *contending* set, and wake admission waiters.
+  for (;;) {
+    co_await Delay(Msec(10));
+    Nanos now = Simulator::current().Now();
+    for (auto it = active_.begin(); it != active_.end();) {
+      int32_t pid = *it;
+      auto qit = read_queues_.find(pid);
+      bool has_reads = qit != read_queues_.end() && !qit->second.empty();
+      bool is_blocked = blocked_.count(pid) > 0;
+      auto ait = last_activity_.find(pid);
+      bool stale = ait == last_activity_.end() || now - ait->second > Msec(50);
+      if (!has_reads && !is_blocked && stale) {
+        it = active_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    pass_advanced_.NotifyAll();
+  }
+}
+
+Task<void> AfqScheduler::AdmitWriteWork(Process& proc) {
+  Register(proc);
+  NoteActivity(proc.pid());
+  // (Re)activate: do not let idle periods bank credit.
+  if (active_.insert(proc.pid()).second && !active_.empty()) {
+    stride_.SetPassAtLeast(proc.pid(), MinActivePass());
+  }
+  blocked_.insert(proc.pid());
+  while (stride_.Pass(proc.pid()) > MinActivePass() + config_.pass_slack) {
+    co_await pass_advanced_.Wait();
+  }
+  blocked_.erase(proc.pid());
+  NoteActivity(proc.pid());
+  // No charge here: costs accrue when the work this call caused reaches the
+  // device (ChargeCauses). Purely in-memory activity stays free.
+}
+
+Task<void> AfqScheduler::OnWriteEntry(Process& proc, int64_t ino,
+                                      uint64_t offset, uint64_t len) {
+  (void)ino;
+  (void)offset;
+  (void)len;
+  co_await AdmitWriteWork(proc);
+}
+
+Task<void> AfqScheduler::OnFsyncEntry(Process& proc, int64_t ino) {
+  (void)ino;
+  co_await AdmitWriteWork(proc);
+}
+
+Task<void> AfqScheduler::OnMetaEntry(Process& proc, MetaOp op,
+                                     const std::string& path) {
+  (void)op;
+  (void)path;
+  co_await AdmitWriteWork(proc);
+}
+
+void AfqScheduler::Add(BlockRequestPtr req) {
+  if (req->submitter != nullptr) {
+    Register(*req->submitter);
+  }
+  if (req->is_write) {
+    // Below the journal: dispatch immediately, never reorder against
+    // ordering-critical writes.
+    write_fifo_.push_back(std::move(req));
+    return;
+  }
+  int32_t pid = req->submitter != nullptr ? req->submitter->pid() : -1;
+  if (active_.insert(pid).second) {
+    stride_.SetPassAtLeast(pid, MinActivePass());
+  }
+  NoteActivity(pid);
+  read_queues_[pid].push_back(std::move(req));
+  ++queued_reads_;
+}
+
+BlockRequestPtr AfqScheduler::Next() {
+  if (!write_fifo_.empty()) {
+    BlockRequestPtr req = std::move(write_fifo_.front());
+    write_fifo_.pop_front();
+    return req;
+  }
+  if (queued_reads_ == 0) {
+    // Nothing queued; maybe anticipate the last sync reader's next request.
+    if (last_read_pid_ >= 0 && anticipate_until_ != 0 &&
+        Simulator::current().Now() < anticipate_until_) {
+      return nullptr;
+    }
+    return nullptr;
+  }
+  // Slice stickiness + anticipation: keep serving the last sync reader
+  // while its pass is within `read_stickiness` of the minimum among
+  // waiting readers. If its queue is momentarily empty, idle briefly
+  // (anticipation) instead of seeking away — the same trade CFQ makes.
+  if (last_read_pid_ >= 0 && stride_.Known(last_read_pid_)) {
+    double min_waiting = std::numeric_limits<double>::max();
+    for (const auto& [pid, queue] : read_queues_) {
+      if (!queue.empty()) {
+        min_waiting = std::min(min_waiting, stride_.Pass(pid));
+      }
+    }
+    bool sticky = stride_.Pass(last_read_pid_) <=
+                  min_waiting + config_.read_stickiness;
+    if (sticky) {
+      auto it = read_queues_.find(last_read_pid_);
+      if (it != read_queues_.end() && !it->second.empty()) {
+        BlockRequestPtr req = std::move(it->second.front());
+        it->second.pop_front();
+        --queued_reads_;
+        anticipate_until_ = 0;
+        ChargeCauses(*req);
+        return req;
+      }
+      Nanos now = Simulator::current().Now();
+      if (anticipate_until_ == 0) {
+        anticipate_until_ = now + config_.idle_window;
+      }
+      if (now < anticipate_until_) {
+        return nullptr;
+      }
+    }
+  }
+  anticipate_until_ = 0;
+  // Pick the non-empty read queue with minimum pass.
+  int32_t best = -1;
+  double best_pass = 0;
+  for (const auto& [pid, queue] : read_queues_) {
+    if (queue.empty()) {
+      continue;
+    }
+    double pass = stride_.Pass(pid);
+    if (best == -1 || pass < best_pass) {
+      best = pid;
+      best_pass = pass;
+    }
+  }
+  if (best == -1) {
+    return nullptr;
+  }
+  auto& queue = read_queues_[best];
+  BlockRequestPtr req = std::move(queue.front());
+  queue.pop_front();
+  --queued_reads_;
+  last_read_pid_ = req->is_sync ? best : -1;
+  anticipate_until_ = 0;
+  ChargeCauses(*req);
+  return req;
+}
+
+void AfqScheduler::ChargeRaw(const CauseSet& causes, double amount) {
+  const auto& pids = causes.pids();
+  if (pids.empty()) {
+    return;
+  }
+  double share = amount / static_cast<double>(pids.size());
+  for (int32_t pid : pids) {
+    stride_.Charge(pid, share);
+    active_.insert(pid);
+    NoteActivity(pid);
+  }
+  pass_advanced_.NotifyAll();
+}
+
+void AfqScheduler::ChargeCauses(const BlockRequest& req) {
+  // Estimated device cost in normalized bytes (simple seek model): the
+  // estimated service time converted by the device's sequential bandwidth.
+  double cost = static_cast<double>(req.bytes);
+  if (ctx_.block != nullptr) {
+    DeviceRequest dreq{req.sector, req.bytes, req.is_write};
+    Nanos est = ctx_.block->device().EstimateCost(dreq);
+    cost = ToSeconds(est) * ctx_.block->device().sequential_bw();
+  }
+  ChargeRaw(req.causes, cost);
+}
+
+void AfqScheduler::OnBufferDirty(Process& dirtier, Page& page, bool was_dirty,
+                                 const CauseSet& prev) {
+  (void)prev;
+  Register(dirtier);
+  if (was_dirty) {
+    return;  // overwrite of buffered data: no new device work
+  }
+  // Prompt charge for new write work; revised at block completion when the
+  // true cost (seeks, amplification) is known.
+  page.prelim_cost = kPageSize;
+  ChargeRaw(page.causes, kPageSize);
+}
+
+void AfqScheduler::OnBufferFree(Page& page) {
+  if (page.prelim_cost > 0) {
+    ChargeRaw(page.causes, -page.prelim_cost);
+    page.prelim_cost = 0;
+  }
+}
+
+void AfqScheduler::OnComplete(const BlockRequest& req) {
+  if (req.is_write) {
+    // Revise: true device cost minus what buffer-dirty already charged.
+    double actual = static_cast<double>(req.bytes);
+    if (ctx_.block != nullptr) {
+      actual = ToSeconds(req.service_time) *
+               ctx_.block->device().sequential_bw();
+    }
+    ChargeRaw(req.causes, actual - req.prelim_charged);
+  }
+  pass_advanced_.NotifyAll();
+}
+
+Nanos AfqScheduler::IdleHint() const {
+  if (anticipate_until_ == 0) {
+    return 0;
+  }
+  Nanos now = Simulator::current().Now();
+  return anticipate_until_ > now ? anticipate_until_ - now : 0;
+}
+
+void AfqScheduler::OnIdleExpired() { anticipate_until_ = 0; }
+
+bool AfqScheduler::Empty() const {
+  return write_fifo_.empty() && queued_reads_ == 0;
+}
+
+}  // namespace splitio

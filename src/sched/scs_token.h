@@ -1,0 +1,84 @@
+// SCS-Token: the system-call-scheduling token bucket of Craciunas et al.
+// [18, 19], reimplemented as the paper's baseline (§2.3.3).
+//
+// All accounting and throttling happen at the system-call level:
+//  - every read and write system call is charged its *byte count* — the
+//    framework cannot tell cache hits from misses, overwrites of buffered
+//    data from new writes, or sequential from random I/O;
+//  - calls block at entry while the account balance is negative.
+// The block level is a pass-through FIFO and the memory hooks are unused —
+// that is the point of the baseline.
+//
+// Consequences reproduced here: random I/O is under-charged (isolation
+// failure, Figure 6) and in-memory I/O is over-charged (an 837x slowdown
+// for the write-mem workload, Figure 14).
+#ifndef SRC_SCHED_SCS_TOKEN_H_
+#define SRC_SCHED_SCS_TOKEN_H_
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "src/core/scheduler.h"
+#include "src/sched/util.h"
+
+namespace splitio {
+
+struct ScsTokenConfig {
+  Nanos refill_period = Msec(10);
+  double burst_seconds = 0.5;
+  double fsync_cost = 4096;  // flat charge per fsync call
+  // The paper notes Craciunas et al. had to modify the file system to tell
+  // SCS which reads are cache hits [19]; with the modification, hits are
+  // not charged (but the SCS logic still runs on every call — that cost is
+  // modeled by per_call_cpu). Set false for the unmodified variant.
+  bool cache_hit_exemption = true;
+  Nanos per_call_cpu = Usec(2);
+};
+
+class ScsTokenScheduler : public SplitScheduler {
+ public:
+  explicit ScsTokenScheduler(const ScsTokenConfig& config = ScsTokenConfig())
+      : config_(config) {}
+
+  std::string name() const override { return "scs-token"; }
+
+  void Attach(const StackContext& ctx) override;
+
+  void SetAccountLimit(int account, double bytes_per_sec);
+
+  Task<void> OnReadEntry(Process& proc, int64_t ino, uint64_t offset,
+                         uint64_t len) override;
+  Task<void> OnWriteEntry(Process& proc, int64_t ino, uint64_t offset,
+                          uint64_t len) override;
+  Task<void> OnFsyncEntry(Process& proc, int64_t ino) override;
+  Task<void> OnMetaEntry(Process& proc, MetaOp op,
+                         const std::string& path) override;
+
+  // Pass-through block level.
+  void Add(BlockRequestPtr req) override {
+    ready_.push_back(std::move(req));
+  }
+  BlockRequestPtr Next() override {
+    if (ready_.empty()) {
+      return nullptr;
+    }
+    BlockRequestPtr req = std::move(ready_.front());
+    ready_.pop_front();
+    return req;
+  }
+  bool Empty() const override { return ready_.empty(); }
+
+ private:
+  Task<void> AdmitAndCharge(Process& proc, double cost);
+  Task<void> RefillLoop();
+
+  ScsTokenConfig config_;
+  std::map<int, TokenBucket> buckets_;
+  std::deque<BlockRequestPtr> ready_;
+  Event tokens_available_;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_SCHED_SCS_TOKEN_H_

@@ -1,0 +1,244 @@
+#include "src/sched/split_deadline.h"
+
+#include "src/block/block_layer.h"
+#include "src/device/device.h"
+#include "src/fs/filesystem.h"
+#include "src/sim/simulator.h"
+
+namespace splitio {
+
+void SplitDeadlineScheduler::Attach(const StackContext& ctx) {
+  SplitScheduler::Attach(ctx);
+  if (config_.own_writeback) {
+    Simulator::current().Spawn(OwnWritebackLoop());
+  }
+}
+
+// ---------------- System-call level ----------------
+
+Task<void> SplitDeadlineScheduler::OnWriteEntry(Process& proc, int64_t ino,
+                                                uint64_t offset,
+                                                uint64_t len) {
+  (void)proc, (void)ino, (void)offset, (void)len;
+  if (!config_.own_writeback) {
+    // Split-Pdflush mode: bound the ammunition pdflush can fire at once by
+    // capping dirty data at (background limit + margin). Writers stall just
+    // above the point where pdflush engages, so flush bursts stay small.
+    uint64_t cap = ctx_.cache->background_limit_pages() * kPageSize +
+                   config_.pdflush_dirty_margin_bytes;
+    while (ctx_.cache->dirty_bytes() > cap) {
+      ctx_.cache->KickWriteback();
+      co_await Delay(Msec(1));
+    }
+  }
+  co_return;
+}
+
+Nanos SplitDeadlineScheduler::EstimateFsyncCost(int64_t ino) const {
+  // Buffer-dirty accounting gives us the dirty page set promptly (§3.2);
+  // contiguous runs cost transfer time, each discontiguity a seek.
+  const std::map<uint64_t, Nanos>* dirty = ctx_.cache->DirtyIndices(ino);
+  if (dirty == nullptr || dirty->empty()) {
+    return 0;
+  }
+  uint64_t runs = 1;
+  uint64_t prev = dirty->begin()->first;
+  for (auto it = std::next(dirty->begin()); it != dirty->end(); ++it) {
+    if (it->first != prev + 1) {
+      ++runs;
+    }
+    prev = it->first;
+  }
+  const BlockDevice& device = ctx_.block->device();
+  Nanos seek = device.is_rotational() ? Msec(8) : Usec(200);
+  uint64_t bytes = dirty->size() * kPageSize;
+  return static_cast<Nanos>(runs) * seek +
+         TransferTime(bytes, device.sequential_bw());
+}
+
+Task<void> SplitDeadlineScheduler::OnFsyncEntry(Process& proc, int64_t ino) {
+  Nanos ddl = proc.fsync_deadline() != kNanosMax
+                  ? proc.fsync_deadline()
+                  : config_.default_fsync_deadline;
+
+  // Cost control: if this fsync would flush a large amount of data (known
+  // promptly from the buffer-dirty hook's accounting), first push the data
+  // out with *asynchronous* writeback, which creates no file-system
+  // synchronization point, until the remaining cost is small. The fsync
+  // joins the deadline queue only once it is cheap enough to issue — a
+  // still-spreading fsync must never gate others' admission.
+  while (EstimateFsyncCost(ino) > config_.fsync_direct_cost) {
+    co_await ctx_.fs->WritebackInode(ino, config_.own_writeback_batch_pages);
+    // Drain each batch before submitting the next: this is what spreads the
+    // cost. Anyone committing meanwhile waits for at most one batch of this
+    // file's ordered data instead of the whole backlog.
+    co_await ctx_.fs->WaitInflight(ino);
+  }
+
+  // Deadline-ordered admission: wait while an earlier-deadline fsync is
+  // pending admission.
+  Nanos deadline = Simulator::current().Now() + ddl;
+  auto it = fsync_deadlines_.insert(deadline);
+  while (*fsync_deadlines_.begin() < deadline) {
+    co_await fsync_turn_.Wait();
+  }
+  fsync_deadlines_.erase(it);
+  fsync_turn_.NotifyAll();
+  fsync_outstanding_.insert(deadline);
+}
+
+void SplitDeadlineScheduler::OnFsyncExit(Process& proc, int64_t ino) {
+  (void)proc, (void)ino;
+  if (!fsync_outstanding_.empty()) {
+    fsync_outstanding_.erase(fsync_outstanding_.begin());
+  }
+  fsync_turn_.NotifyAll();
+}
+
+// ---------------- Block level ----------------
+
+void SplitDeadlineScheduler::Add(BlockRequestPtr req) {
+  if (!req->is_write) {
+    Nanos ddl = config_.default_read_deadline;
+    if (req->submitter != nullptr &&
+        req->submitter->read_deadline() != kNanosMax) {
+      ddl = req->submitter->read_deadline();
+    }
+    req->deadline = req->enqueue_time + ddl;
+    read_fifo_.push_back(req);
+    sorted_[0].emplace(req->sector, req);
+    ++count_[0];
+  } else if (req->is_journal || req->is_sync) {
+    // Someone's fsync is blocked on this write: it must not queue behind
+    // background writeback. Served ahead of the sorted location queues.
+    urgent_fifo_.push_back(std::move(req));
+    ++pending_;
+    return;
+  } else {
+    // Background writes carry no deadline (fsyncs do); sorted for
+    // throughput.
+    sorted_[1].emplace(req->sector, req);
+    ++count_[1];
+  }
+  ++pending_;
+}
+
+BlockRequestPtr SplitDeadlineScheduler::TakeReq(bool write,
+                                                BlockRequestPtr req) {
+  req->elv_dispatched = true;
+  int dir = write ? 1 : 0;
+  auto [lo, hi] = sorted_[dir].equal_range(req->sector);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == req) {
+      sorted_[dir].erase(it);
+      break;
+    }
+  }
+  --count_[dir];
+  --pending_;
+  next_sector_ = req->sector + req->bytes / kSectorSize;
+  return req;
+}
+
+BlockRequestPtr SplitDeadlineScheduler::PopSorted(bool write, uint64_t from) {
+  int dir = write ? 1 : 0;
+  if (sorted_[dir].empty()) {
+    return nullptr;
+  }
+  auto it = sorted_[dir].lower_bound(from);
+  if (it == sorted_[dir].end()) {
+    it = sorted_[dir].begin();
+  }
+  return TakeReq(write, it->second);
+}
+
+BlockRequestPtr SplitDeadlineScheduler::PopReadFifo() {
+  while (!read_fifo_.empty()) {
+    BlockRequestPtr req = read_fifo_.front();
+    read_fifo_.pop_front();
+    if (!req->elv_dispatched) {
+      return TakeReq(false, req);
+    }
+  }
+  return nullptr;
+}
+
+bool SplitDeadlineScheduler::ReadFifoExpired() const {
+  Nanos now = Simulator::current().Now();
+  for (const BlockRequestPtr& req : read_fifo_) {
+    if (!req->elv_dispatched) {
+      return req->deadline <= now;
+    }
+  }
+  return false;
+}
+
+BlockRequestPtr SplitDeadlineScheduler::Next() {
+  if (pending_ == 0) {
+    return nullptr;
+  }
+  // Expired reads always jump the queue.
+  if (ReadFifoExpired()) {
+    batch_remaining_ = config_.fifo_batch - 1;
+    dir_write_ = false;
+    return PopReadFifo();
+  }
+  // Fsync-critical writes next (journal commits, fsync data flushes).
+  if (!urgent_fifo_.empty()) {
+    BlockRequestPtr req = std::move(urgent_fifo_.front());
+    urgent_fifo_.pop_front();
+    --pending_;
+    next_sector_ = req->sector + req->bytes / kSectorSize;
+    return req;
+  }
+  if (batch_remaining_ > 0 && count_[dir_write_ ? 1 : 0] > 0) {
+    --batch_remaining_;
+    return PopSorted(dir_write_, next_sector_);
+  }
+  bool write;
+  if (count_[0] > 0 && (count_[1] == 0 || starved_ < config_.writes_starved)) {
+    write = false;
+    if (count_[1] > 0) {
+      ++starved_;
+    }
+  } else {
+    write = true;
+    starved_ = 0;
+  }
+  dir_write_ = write;
+  batch_remaining_ = config_.fifo_batch - 1;
+  return PopSorted(write, next_sector_);
+}
+
+// ---------------- Scheduler-owned writeback ----------------
+
+bool SplitDeadlineScheduler::DeadlinePressure() const {
+  // Deadline at risk: a queued read near expiry or an fsync admitted and
+  // outstanding.
+  if (!fsync_outstanding_.empty()) {
+    return true;
+  }
+  Nanos now = Simulator::current().Now();
+  for (const BlockRequestPtr& req : read_fifo_) {
+    if (!req->elv_dispatched && req->deadline - now < Msec(20)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Task<void> SplitDeadlineScheduler::OwnWritebackLoop() {
+  for (;;) {
+    co_await Delay(config_.own_writeback_period);
+    if (DeadlinePressure()) {
+      continue;  // never compete with deadline-bound I/O
+    }
+    int64_t ino = ctx_.cache->OldestDirtyInode();
+    if (ino < 0) {
+      continue;
+    }
+    co_await ctx_.fs->WritebackInode(ino, config_.own_writeback_batch_pages);
+  }
+}
+
+}  // namespace splitio

@@ -1,0 +1,99 @@
+// Split-Token (§5.3): token-bucket resource limiting with split-level
+// accounting.
+//
+// Tokens represent *normalized bytes*: the cost of an I/O pattern expressed
+// as the equivalent amount of sequential I/O. Accounting happens twice:
+//  - promptly, at the buffer-dirty hook, using a preliminary model based on
+//    the randomness of offsets within the file;
+//  - accurately, at block-level completion, where the real locations,
+//    amplification (journal writes!), and achieved sequentiality are known;
+//    the preliminary charge carried by the request is revised (extra charge
+//    or refund).
+//
+// Throttling (only while an account's balance is negative):
+//  - write-path system calls (write, fsync, creat, mkdir) — before the
+//    file system entangles them;
+//  - block-level reads — below the cache, so cache hits are never taxed.
+// Block-level writes are never throttled (ordering), and system-call reads
+// are never throttled (cache).
+#ifndef SRC_SCHED_SPLIT_TOKEN_H_
+#define SRC_SCHED_SPLIT_TOKEN_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/scheduler.h"
+#include "src/sched/util.h"
+
+namespace splitio {
+
+struct SplitTokenConfig {
+  Nanos refill_period = Msec(10);
+  // Burst capacity as seconds of rate.
+  double burst_seconds = 0.5;
+  // Normalized cost (bytes) of one seek-equivalent, preliminary model. The
+  // block-level model replaces this with measured service time.
+  double seek_equivalent_bytes = 512.0 * 1024;
+  // Disable the block-level revision pass (for the ablation bench).
+  bool revise_at_block_level = true;
+};
+
+class SplitTokenScheduler : public SplitScheduler {
+ public:
+  explicit SplitTokenScheduler(
+      const SplitTokenConfig& config = SplitTokenConfig())
+      : config_(config) {}
+
+  std::string name() const override { return "split-token"; }
+
+  void Attach(const StackContext& ctx) override;
+
+  // Creates (or reconfigures) a rate-limited account (bytes/second of
+  // normalized I/O). Processes are bound via Process::set_account.
+  void SetAccountLimit(int account, double bytes_per_sec);
+
+  // ---- System-call hooks: throttle the write path ----
+  Task<void> OnWriteEntry(Process& proc, int64_t ino, uint64_t offset,
+                          uint64_t len) override;
+  Task<void> OnFsyncEntry(Process& proc, int64_t ino) override;
+  Task<void> OnMetaEntry(Process& proc, MetaOp op,
+                         const std::string& path) override;
+
+  // ---- Memory hooks: preliminary accounting ----
+  void OnBufferDirty(Process& dirtier, Page& page, bool was_dirty,
+                     const CauseSet& prev) override;
+  void OnBufferFree(Page& page) override;
+
+  // ---- Block hooks: read throttling + accounting revision ----
+  void Add(BlockRequestPtr req) override;
+  BlockRequestPtr Next() override;
+  void OnComplete(const BlockRequest& req) override;
+  bool Empty() const override;
+
+  double account_balance(int account) const;
+
+ private:
+  int AccountOf(int32_t pid) const;
+  void ChargeAccount(int account, double cost);
+  // Splits `cost` across the accounts of `causes`.
+  void ChargeCauses(const CauseSet& causes, double cost);
+  Task<void> ThrottleAccount(Process& proc);
+  Task<void> RefillLoop();
+  void ReleaseHeldReads();
+
+  SplitTokenConfig config_;
+  std::map<int, TokenBucket> buckets_;
+  // pid -> account binding, learned from Process objects seen at hooks.
+  std::unordered_map<int32_t, int> pid_account_;
+  // Last dirtied page index per inode (sequentiality guess).
+  std::unordered_map<int64_t, uint64_t> last_index_;
+  std::deque<BlockRequestPtr> ready_;
+  std::deque<BlockRequestPtr> held_reads_;
+  Event tokens_available_;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_SCHED_SPLIT_TOKEN_H_

@@ -1,0 +1,100 @@
+// Scheduler building blocks: stride scheduling state and token buckets.
+#ifndef SRC_SCHED_UTIL_H_
+#define SRC_SCHED_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "src/sim/sync.h"
+#include "src/sim/time.h"
+
+namespace splitio {
+
+// Stride-scheduling passes (Waldspurger & Weihl). Each client advances its
+// pass by charge/weight; clients with the minimum pass are served first.
+// Joining clients start at the current global pass so idle periods do not
+// bank credit.
+class StrideState {
+ public:
+  void SetWeight(int32_t client, double weight) {
+    Entry& e = entries_[client];
+    e.weight = std::max(weight, 1e-9);
+  }
+
+  // Charges `cost` to `client` (auto-registers with weight 1).
+  void Charge(int32_t client, double cost) {
+    Entry& e = Touch(client);
+    e.pass += cost / e.weight;
+  }
+
+  // The client's pass, normalized to start at the global floor.
+  double Pass(int32_t client) { return Touch(client).pass; }
+
+  // Minimum pass among `active` clients (callers decide what active means).
+  template <typename Container>
+  double MinPass(const Container& active_clients) {
+    double min_pass = std::numeric_limits<double>::max();
+    for (int32_t c : active_clients) {
+      min_pass = std::min(min_pass, Touch(c).pass);
+    }
+    return min_pass;
+  }
+
+  bool Known(int32_t client) const { return entries_.count(client) > 0; }
+
+  // Raises the client's pass to at least `floor` — used when a client
+  // re-activates after idling, so idle time does not bank credit.
+  void SetPassAtLeast(int32_t client, double floor) {
+    Entry& e = Touch(client);
+    e.pass = std::max(e.pass, floor);
+  }
+
+ private:
+  struct Entry {
+    double weight = 1.0;
+    double pass = 0;
+  };
+
+  Entry& Touch(int32_t client) { return entries_[client]; }
+
+  std::unordered_map<int32_t, Entry> entries_;
+};
+
+// A token bucket whose balance may go negative (debt): work is admitted
+// while the balance is non-negative and charged afterwards, so a large
+// operation can overdraw and then pay back over time.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_per_sec, double cap)
+      : rate_(rate_per_sec), cap_(cap), balance_(cap) {}
+
+  void Refill(Nanos now) {
+    if (last_refill_ < 0) {
+      last_refill_ = now;
+      return;
+    }
+    double dt = ToSeconds(now - last_refill_);
+    balance_ = std::min(cap_, balance_ + rate_ * dt);
+    last_refill_ = now;
+  }
+
+  void Charge(double cost) { balance_ -= cost; }
+  void Refund(double amount) { balance_ = std::min(cap_, balance_ + amount); }
+
+  bool CanAdmit() const { return balance_ >= 0; }
+  double balance() const { return balance_; }
+  double rate() const { return rate_; }
+
+ private:
+  double rate_ = 0;
+  double cap_ = 0;
+  double balance_ = 0;
+  Nanos last_refill_ = -1;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_SCHED_UTIL_H_

@@ -1,0 +1,50 @@
+// Proportional-share CPU model.
+//
+// Models a machine with `cores` CPUs. A simulated thread consumes CPU by
+// co_awaiting `Consume(work)`; when more threads are runnable than there are
+// cores, each thread's work is stretched by the overload factor sampled per
+// slice. This is a fluid approximation: it preserves the property the paper's
+// Figure 15 depends on (CPU-bound interference appears only once the number
+// of runnable threads substantially exceeds the core count), without
+// simulating a real CPU scheduler.
+#ifndef SRC_SIM_CPU_H_
+#define SRC_SIM_CPU_H_
+
+#include <algorithm>
+
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace splitio {
+
+class CpuModel {
+ public:
+  explicit CpuModel(int cores) : cores_(cores) {}
+
+  int cores() const { return cores_; }
+  int runnable() const { return runnable_; }
+
+  // Consumes `work` nanoseconds of CPU time, stretched by contention.
+  Task<void> Consume(Nanos work) {
+    ++runnable_;
+    // Re-sample contention every slice so long computations adapt to load.
+    Nanos remaining = work;
+    while (remaining > 0) {
+      Nanos slice = std::min<Nanos>(remaining, Msec(1));
+      double factor =
+          std::max(1.0, static_cast<double>(runnable_) / cores_);
+      co_await Delay(static_cast<Nanos>(static_cast<double>(slice) * factor));
+      remaining -= slice;
+    }
+    --runnable_;
+  }
+
+ private:
+  int cores_;
+  int runnable_ = 0;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_SIM_CPU_H_

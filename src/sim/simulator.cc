@@ -1,0 +1,85 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+
+namespace splitio {
+
+namespace {
+
+Simulator* g_current = nullptr;
+
+// Driver coroutine for root tasks: runs the task to completion, then marks
+// the join state done and wakes joiners. It is initially suspended so the
+// simulator can schedule its first resumption; its frame destroys itself on
+// completion (final_suspend never suspends).
+struct RootDriver {
+  struct promise_type {
+    RootDriver get_return_object() {
+      return RootDriver{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+RootDriver DriveRoot(Task<void> task, JoinHandle state) {
+  co_await std::move(task);
+  state->MarkDone();
+}
+
+}  // namespace
+
+void JoinState::MarkDone() {
+  done_ = true;
+  Simulator& sim = Simulator::current();
+  for (std::coroutine_handle<> waiter : waiters_) {
+    sim.Schedule(sim.Now(), waiter);
+  }
+  waiters_.clear();
+}
+
+Simulator::Simulator() {
+  assert(g_current == nullptr && "nested simulators are not supported");
+  g_current = this;
+}
+
+Simulator::~Simulator() { g_current = nullptr; }
+
+Simulator& Simulator::current() {
+  assert(g_current != nullptr);
+  return *g_current;
+}
+
+void Simulator::Schedule(Nanos t, std::coroutine_handle<> h) {
+  if (t < now_) {
+    t = now_;
+  }
+  queue_.push(QueueItem{t, next_seq_++, h});
+}
+
+void Simulator::Run(Nanos until) {
+  while (!queue_.empty()) {
+    QueueItem item = queue_.top();
+    if (item.time > until) {
+      now_ = until;
+      return;
+    }
+    queue_.pop();
+    now_ = item.time;
+    ++events_processed_;
+    item.handle.resume();
+  }
+}
+
+JoinHandle Simulator::Spawn(Task<void> task) {
+  auto state = std::make_shared<JoinState>();
+  RootDriver driver = DriveRoot(std::move(task), state);
+  Schedule(now_, driver.handle);
+  return state;
+}
+
+}  // namespace splitio

@@ -1,0 +1,126 @@
+// Discrete-event simulator core.
+//
+// The simulator owns a priority queue of (time, sequence, coroutine handle)
+// wake-ups and a simulated clock. Simulated threads are `Task<void>`
+// coroutines handed to `Spawn`; they block by co_awaiting `Delay`,
+// `sim::Event`, or higher-level primitives, all of which re-enqueue the
+// coroutine in the event queue. Execution is single-threaded and fully
+// deterministic: ties in wake-up time are broken by insertion order.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace splitio {
+
+// Shared completion state for a spawned root task; allows joining.
+class JoinState {
+ public:
+  bool done() const { return done_; }
+
+  // Marks the task complete and wakes all joiners. Called by the simulator's
+  // root-task driver.
+  void MarkDone();
+
+ private:
+  friend class JoinAwaiter;
+  bool done_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+using JoinHandle = std::shared_ptr<JoinState>;
+
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // The simulator currently executing (valid during construction..Run).
+  static Simulator& current();
+
+  Nanos Now() const { return now_; }
+
+  // Enqueues `h` to be resumed at absolute time `t` (>= Now()).
+  void Schedule(Nanos t, std::coroutine_handle<> h);
+
+  // Starts a root simulated thread. The coroutine frame is owned by the
+  // simulator machinery and freed when the task completes. The returned
+  // handle can be awaited with `Join`.
+  JoinHandle Spawn(Task<void> task);
+
+  // Runs until the event queue is empty or the clock passes `until`.
+  void Run(Nanos until = kNanosMax);
+
+  // Total wake-ups processed (for overhead accounting in benches).
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct QueueItem {
+    Nanos time;
+    uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const QueueItem& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>
+      queue_;
+};
+
+// Awaitable: resume the current coroutine after `d` nanoseconds of simulated
+// time. Negative delays are clamped to zero.
+struct DelayAwaiter {
+  Nanos delay;
+  bool await_ready() const noexcept { return delay <= 0; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    Simulator& sim = Simulator::current();
+    sim.Schedule(sim.Now() + delay, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+inline DelayAwaiter Delay(Nanos d) { return DelayAwaiter{d}; }
+
+// Awaitable: wait until a spawned root task completes. Returns immediately if
+// it already has.
+//
+// Holds a raw pointer only: GCC 12 destroys co_await operand temporaries
+// twice, so awaiters must be trivially destructible. The JoinHandle passed
+// to Join() is kept alive by the caller (an lvalue, or a temporary bound to
+// the const& parameter, which lives to the end of the full expression).
+class JoinAwaiter {
+ public:
+  explicit JoinAwaiter(JoinState* state) : state_(state) {}
+  bool await_ready() const noexcept { return state_->done_; }
+  void await_suspend(std::coroutine_handle<> h) {
+    state_->waiters_.push_back(h);
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  JoinState* state_;
+};
+
+inline JoinAwaiter Join(const JoinHandle& handle) {
+  return JoinAwaiter(handle.get());
+}
+
+}  // namespace splitio
+
+#endif  // SRC_SIM_SIMULATOR_H_

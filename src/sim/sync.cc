@@ -1,0 +1,35 @@
+#include "src/sim/sync.h"
+
+namespace splitio {
+
+Task<void> Event::TimeoutTimer(std::shared_ptr<WaitNode> node, Nanos timeout) {
+  co_await Delay(timeout);
+  if (!node->notified && !node->cancelled) {
+    node->cancelled = true;
+    Simulator& sim = Simulator::current();
+    sim.Schedule(sim.Now(), node->handle);
+  }
+}
+
+Task<bool> Event::WaitWithTimeout(Nanos timeout) {
+  // The shared_ptr lives as a coroutine local; the awaiter temporary holds
+  // only raw pointers. GCC 12 runs the destructor of a co_await operand
+  // temporary twice, so awaiter objects must be trivially destructible
+  // (see the note in task.h).
+  auto node = std::make_shared<WaitNode>();
+  struct NodeAwaiter {
+    Event* event;
+    const std::shared_ptr<WaitNode>* node;
+    Nanos timeout;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      (*node)->handle = h;
+      event->waiters_.push_back(*node);
+      Simulator::current().Spawn(TimeoutTimer(*node, timeout));
+    }
+    bool await_resume() const noexcept { return (*node)->notified; }
+  };
+  co_return co_await NodeAwaiter{this, &node, timeout};
+}
+
+}  // namespace splitio

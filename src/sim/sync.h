@@ -1,0 +1,184 @@
+// Synchronization primitives for simulated threads.
+//
+// All primitives are single-real-thread constructs for coroutines running
+// inside one Simulator: no atomics, fully deterministic FIFO wake order.
+#ifndef SRC_SIM_SYNC_H_
+#define SRC_SIM_SYNC_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace splitio {
+
+// A broadcast/one-shot notification. Waiters suspend until Notify{One,All}.
+// The event carries no state: a waiter that arrives after a notification
+// waits for the next one (condition-variable semantics — always re-check the
+// predicate in a loop).
+class Event {
+ public:
+  class Awaiter {
+   public:
+    explicit Awaiter(Event* event) : event_(event) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      event_->waiters_.push_back(std::make_shared<WaitNode>(WaitNode{h}));
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Event* event_;
+  };
+
+  Awaiter Wait() { return Awaiter(this); }
+
+  // Waits for a notification or `timeout`, whichever comes first. Returns
+  // true iff the event was notified before the timeout.
+  Task<bool> WaitWithTimeout(Nanos timeout);
+
+  void NotifyOne() {
+    Simulator& sim = Simulator::current();
+    while (!waiters_.empty()) {
+      std::shared_ptr<WaitNode> node = waiters_.front();
+      waiters_.pop_front();
+      if (node->cancelled) {
+        continue;
+      }
+      node->notified = true;
+      sim.Schedule(sim.Now(), node->handle);
+      return;
+    }
+  }
+
+  void NotifyAll() {
+    Simulator& sim = Simulator::current();
+    for (const std::shared_ptr<WaitNode>& node : waiters_) {
+      if (node->cancelled) {
+        continue;
+      }
+      node->notified = true;
+      sim.Schedule(sim.Now(), node->handle);
+    }
+    waiters_.clear();
+  }
+
+  bool has_waiters() const {
+    for (const std::shared_ptr<WaitNode>& node : waiters_) {
+      if (!node->cancelled) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct WaitNode {
+    std::coroutine_handle<> handle;
+    bool notified = false;
+    bool cancelled = false;
+  };
+
+  static Task<void> TimeoutTimer(std::shared_ptr<WaitNode> node,
+                                 Nanos timeout);
+
+  std::deque<std::shared_ptr<WaitNode>> waiters_;
+};
+
+// A one-shot completion latch: once Set(), all current and future waiters
+// pass through immediately. Used for per-request completion.
+class Latch {
+ public:
+  class Awaiter {
+   public:
+    explicit Awaiter(Latch* latch) : latch_(latch) {}
+    bool await_ready() const noexcept { return latch_->set_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      latch_->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Latch* latch_;
+  };
+
+  Awaiter Wait() { return Awaiter(this); }
+
+  void Set() {
+    set_ = true;
+    Simulator& sim = Simulator::current();
+    for (std::coroutine_handle<> h : waiters_) {
+      sim.Schedule(sim.Now(), h);
+    }
+    waiters_.clear();
+  }
+
+  bool is_set() const { return set_; }
+
+ private:
+  bool set_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// Counting semaphore with FIFO waiters.
+class Semaphore {
+ public:
+  explicit Semaphore(int64_t initial) : count_(initial) {}
+
+  // co_await sem.Acquire();
+  Task<void> Acquire() {
+    while (count_ <= 0) {
+      co_await event_.Wait();
+    }
+    --count_;
+  }
+
+  bool TryAcquire() {
+    if (count_ > 0) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  void Release() {
+    ++count_;
+    event_.NotifyOne();
+  }
+
+  int64_t count() const { return count_; }
+
+ private:
+  int64_t count_;
+  Event event_;
+};
+
+// Mutual exclusion for simulated threads. Coroutines only yield at co_await
+// points, so a mutex is needed only around multi-await critical sections.
+class Mutex {
+ public:
+  Task<void> Lock() {
+    while (locked_) {
+      co_await event_.Wait();
+    }
+    locked_ = true;
+  }
+
+  void Unlock() {
+    locked_ = false;
+    event_.NotifyOne();
+  }
+
+  bool locked() const { return locked_; }
+
+ private:
+  bool locked_ = false;
+  Event event_;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_SIM_SYNC_H_

@@ -1,0 +1,163 @@
+// Coroutine task type for the discrete-event simulator.
+//
+// A `Task<T>` is a lazily-started coroutine. It begins execution when
+// co_awaited by another coroutine (symmetric transfer), or when handed to
+// `Simulator::Spawn`, which drives it as a root "simulated thread".
+//
+// Tasks are move-only and own their coroutine frame; destroying an unfinished
+// task destroys the frame (cancellation of a never-started or suspended
+// task).
+//
+// LAMBDA CAPTURE RULE: a lambda coroutine's captures live in the closure
+// object, which is NOT copied into the coroutine frame. Never invoke a
+// temporary capturing lambda as a coroutine (e.g. `Spawn([&]{...}())`);
+// instead name the lambda so the closure outlives the coroutine, or pass
+// state through parameters (parameters are moved into the frame).
+//
+// AWAITER TRIVIALITY RULE: GCC 12 runs the destructor of a co_await operand
+// temporary twice. Task tolerates this (Destroy() nulls the handle, making
+// the destructor idempotent), but custom awaitables used as temporaries
+// must hold only trivially-destructible members (raw pointers, integers) —
+// never a shared_ptr or container by value.
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace splitio {
+
+template <typename T = void>
+class Task;
+
+namespace internal {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  alignas(T) unsigned char storage[sizeof(T)];
+  bool has_value = false;
+
+  Task<T> get_return_object();
+  void return_value(T value) {
+    new (storage) T(std::move(value));
+    has_value = true;
+  }
+  T& value() { return *reinterpret_cast<T*>(storage); }
+  ~Promise() {
+    if (has_value) {
+      value().~T();
+    }
+  }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace internal
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = internal::Promise<T>;
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  // Awaiter: starts the child coroutine and resumes the parent when it
+  // finishes (symmetric transfer in both directions).
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        handle.promise().continuation = parent;
+        return handle;
+      }
+      T await_resume() {
+        auto& promise = handle.promise();
+        if (promise.exception) {
+          std::rethrow_exception(promise.exception);
+        }
+        if constexpr (!std::is_void_v<T>) {
+          return std::move(promise.value());
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  // Debug helper: raw frame address.
+  void* DebugAddress() const { return handle_ ? handle_.address() : nullptr; }
+
+  // Releases ownership of the coroutine frame to the caller. Used by the
+  // simulator's spawn machinery.
+  std::coroutine_handle<promise_type> Release() {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace internal {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+}  // namespace internal
+
+}  // namespace splitio
+
+#endif  // SRC_SIM_TASK_H_

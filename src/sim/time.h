@@ -1,0 +1,33 @@
+// Simulated-time types and helpers.
+//
+// All simulated time in this library is expressed in nanoseconds as a signed
+// 64-bit integer (`Nanos`). Helpers convert from human units. Signed so that
+// subtraction of two timestamps yields a meaningful duration.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace splitio {
+
+// A point in simulated time, or a duration, in nanoseconds.
+using Nanos = int64_t;
+
+inline constexpr Nanos kNanosMax = std::numeric_limits<Nanos>::max();
+
+constexpr Nanos Usec(int64_t us) { return us * 1000; }
+constexpr Nanos Msec(int64_t ms) { return ms * 1000 * 1000; }
+constexpr Nanos Sec(int64_t s) { return s * 1000 * 1000 * 1000; }
+
+constexpr double ToSeconds(Nanos t) { return static_cast<double>(t) / 1e9; }
+constexpr double ToMillis(Nanos t) { return static_cast<double>(t) / 1e6; }
+
+// Converts a byte count and a bandwidth (bytes/second) to a transfer time.
+constexpr Nanos TransferTime(uint64_t bytes, double bytes_per_sec) {
+  return static_cast<Nanos>(static_cast<double>(bytes) / bytes_per_sec * 1e9);
+}
+
+}  // namespace splitio
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,76 @@
+#include "src/syscall/kernel.h"
+
+namespace splitio {
+
+Task<void> OsKernel::ChargeCpu(uint64_t len) {
+  Nanos cost = config_.syscall_cpu +
+               config_.per_page_cpu *
+                   static_cast<Nanos>((len + kPageSize - 1) / kPageSize);
+  if (sched_ != nullptr) {
+    cost += config_.split_hook_cpu;
+  }
+  co_await cpu_->Consume(cost);
+}
+
+Task<int64_t> OsKernel::Creat(Process& proc, const std::string& path) {
+  if (sched_ != nullptr) {
+    co_await sched_->OnMetaEntry(proc, MetaOp::kCreat, path);
+  }
+  co_await ChargeCpu(0);
+  co_return co_await fs_->Create(proc, path);
+}
+
+Task<int64_t> OsKernel::Mkdir(Process& proc, const std::string& path) {
+  if (sched_ != nullptr) {
+    co_await sched_->OnMetaEntry(proc, MetaOp::kMkdir, path);
+  }
+  co_await ChargeCpu(0);
+  co_return co_await fs_->Mkdir(proc, path);
+}
+
+Task<void> OsKernel::Unlink(Process& proc, int64_t ino) {
+  if (sched_ != nullptr) {
+    co_await sched_->OnMetaEntry(proc, MetaOp::kUnlink, "");
+  }
+  co_await ChargeCpu(0);
+  co_await fs_->Unlink(proc, ino);
+}
+
+Task<uint64_t> OsKernel::Read(Process& proc, int64_t ino, uint64_t offset,
+                              uint64_t len) {
+  if (sched_ != nullptr) {
+    co_await sched_->OnReadEntry(proc, ino, offset, len);
+  }
+  co_await ChargeCpu(len);
+  uint64_t n = co_await fs_->Read(proc, ino, offset, len);
+  if (sched_ != nullptr) {
+    sched_->OnReadExit(proc, ino, n);
+  }
+  co_return n;
+}
+
+Task<uint64_t> OsKernel::Write(Process& proc, int64_t ino, uint64_t offset,
+                               uint64_t len) {
+  if (sched_ != nullptr) {
+    co_await sched_->OnWriteEntry(proc, ino, offset, len);
+  }
+  co_await ChargeCpu(len);
+  uint64_t n = co_await fs_->Write(proc, ino, offset, len);
+  if (sched_ != nullptr) {
+    sched_->OnWriteExit(proc, ino, n);
+  }
+  co_return n;
+}
+
+Task<void> OsKernel::Fsync(Process& proc, int64_t ino) {
+  if (sched_ != nullptr) {
+    co_await sched_->OnFsyncEntry(proc, ino);
+  }
+  co_await ChargeCpu(0);
+  co_await fs_->Fsync(proc, ino);
+  if (sched_ != nullptr) {
+    sched_->OnFsyncExit(proc, ino);
+  }
+}
+
+}  // namespace splitio

@@ -1,0 +1,60 @@
+// System-call layer: the entry point simulated applications use.
+//
+// Wraps the file system with (a) CPU cost accounting and (b) scheduler
+// entry/exit hooks. A split (or SCS) scheduler may put the caller to sleep
+// in an entry hook — the paper's chosen implementation ("the caller is
+// blocked until the system call is scheduled", §4.2).
+#ifndef SRC_SYSCALL_KERNEL_H_
+#define SRC_SYSCALL_KERNEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/process.h"
+#include "src/core/scheduler.h"
+#include "src/fs/filesystem.h"
+#include "src/sim/cpu.h"
+
+namespace splitio {
+
+class OsKernel {
+ public:
+  struct Config {
+    Nanos syscall_cpu = Usec(3);        // fixed per-syscall CPU cost
+    Nanos per_page_cpu = Usec(1) / 4;   // copy cost per 4 KB page
+    // Extra bookkeeping cost per syscall when a split scheduler is attached
+    // (the paper's §5.1: AFQ "needs to do significant bookkeeping").
+    Nanos split_hook_cpu = Usec(1);
+  };
+
+  OsKernel(FileSystem* fs, PageCache* cache, CpuModel* cpu,
+           SplitScheduler* sched, const Config& config)
+      : fs_(fs), cache_(cache), cpu_(cpu), sched_(sched), config_(config) {}
+
+  // ---- POSIX-ish surface ----
+  Task<int64_t> Creat(Process& proc, const std::string& path);
+  Task<int64_t> Mkdir(Process& proc, const std::string& path);
+  Task<void> Unlink(Process& proc, int64_t ino);
+  Task<uint64_t> Read(Process& proc, int64_t ino, uint64_t offset,
+                      uint64_t len);
+  Task<uint64_t> Write(Process& proc, int64_t ino, uint64_t offset,
+                       uint64_t len);
+  Task<void> Fsync(Process& proc, int64_t ino);
+
+  FileSystem& fs() { return *fs_; }
+  PageCache& cache() { return *cache_; }
+
+ private:
+  Task<void> ChargeCpu(uint64_t len);
+
+  FileSystem* fs_;
+  PageCache* cache_;
+  CpuModel* cpu_;
+  SplitScheduler* sched_;  // may be null (legacy block-only stack)
+  Config config_;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_SYSCALL_KERNEL_H_

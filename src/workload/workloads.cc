@@ -1,0 +1,180 @@
+#include "src/workload/workloads.h"
+
+#include <string>
+
+#include "src/sim/simulator.h"
+
+namespace splitio {
+
+namespace {
+Nanos Now() { return Simulator::current().Now(); }
+}  // namespace
+
+Task<void> SequentialReader(OsKernel& kernel, Process& proc, int64_t ino,
+                            uint64_t file_bytes, uint64_t io_size, Nanos until,
+                            WorkloadStats* stats) {
+  uint64_t offset = 0;
+  while (Now() < until) {
+    uint64_t n = co_await kernel.Read(proc, ino, offset, io_size);
+    stats->bytes += n;
+    ++stats->ops;
+    offset += io_size;
+    if (offset + io_size > file_bytes) {
+      offset = 0;
+    }
+  }
+}
+
+Task<void> RandomReader(OsKernel& kernel, Process& proc, int64_t ino,
+                        uint64_t file_bytes, uint64_t io_size, uint64_t seed,
+                        Nanos until, WorkloadStats* stats) {
+  Rng rng(seed);
+  uint64_t slots = file_bytes / io_size;
+  while (Now() < until) {
+    uint64_t offset = rng.Below(slots) * io_size;
+    uint64_t n = co_await kernel.Read(proc, ino, offset, io_size);
+    stats->bytes += n;
+    ++stats->ops;
+  }
+}
+
+Task<void> SequentialWriter(OsKernel& kernel, Process& proc, int64_t ino,
+                            uint64_t io_size, Nanos until,
+                            WorkloadStats* stats) {
+  uint64_t offset = 0;
+  while (Now() < until) {
+    uint64_t n = co_await kernel.Write(proc, ino, offset, io_size);
+    stats->bytes += n;
+    ++stats->ops;
+    offset += io_size;
+  }
+}
+
+Task<void> RandomWriter(OsKernel& kernel, Process& proc, int64_t ino,
+                        uint64_t file_bytes, uint64_t io_size, uint64_t seed,
+                        Nanos until, WorkloadStats* stats) {
+  Rng rng(seed);
+  uint64_t slots = file_bytes / io_size;
+  while (Now() < until) {
+    uint64_t offset = rng.Below(slots) * io_size;
+    uint64_t n = co_await kernel.Write(proc, ino, offset, io_size);
+    stats->bytes += n;
+    ++stats->ops;
+  }
+}
+
+Task<void> RunSizeWorkload(OsKernel& kernel, Process& proc, int64_t ino,
+                           uint64_t file_bytes, uint64_t run_bytes,
+                           bool writes, uint64_t seed, Nanos until,
+                           WorkloadStats* stats) {
+  Rng rng(seed);
+  constexpr uint64_t kIo = 64 * 1024;
+  uint64_t io = std::min(kIo, run_bytes);
+  uint64_t slots = file_bytes / kPageSize;
+  while (Now() < until) {
+    uint64_t offset = rng.Below(slots) * kPageSize;
+    uint64_t end = std::min(offset + run_bytes, file_bytes);
+    for (uint64_t pos = offset; pos < end && Now() < until; pos += io) {
+      uint64_t len = std::min(io, end - pos);
+      uint64_t n = writes ? co_await kernel.Write(proc, ino, pos, len)
+                          : co_await kernel.Read(proc, ino, pos, len);
+      stats->bytes += n;
+      ++stats->ops;
+    }
+  }
+}
+
+Task<void> AppendFsyncLoop(OsKernel& kernel, Process& proc, int64_t ino,
+                           uint64_t block, Nanos until, WorkloadStats* stats) {
+  uint64_t offset = kernel.fs().FileSize(ino);
+  while (Now() < until) {
+    co_await kernel.Write(proc, ino, offset, block);
+    offset += block;
+    Nanos start = Now();
+    co_await kernel.Fsync(proc, ino);
+    stats->latency.Add(Now() - start);
+    stats->bytes += block;
+    ++stats->ops;
+  }
+}
+
+Task<void> BigWriteFsyncLoop(OsKernel& kernel, Process& proc, int64_t ino,
+                             uint64_t file_bytes, uint64_t nbytes,
+                             uint64_t block, Nanos pause, uint64_t seed,
+                             Nanos until, WorkloadStats* stats) {
+  Rng rng(seed);
+  uint64_t slots = file_bytes / block;
+  while (Now() < until) {
+    for (uint64_t written = 0; written < nbytes; written += block) {
+      uint64_t offset = rng.Below(slots) * block;
+      co_await kernel.Write(proc, ino, offset, block);
+    }
+    Nanos start = Now();
+    co_await kernel.Fsync(proc, ino);
+    stats->latency.Add(Now() - start);
+    stats->bytes += nbytes;
+    ++stats->ops;
+    if (pause > 0) {
+      co_await Delay(pause);
+    }
+  }
+}
+
+Task<void> CreateFsyncLoop(OsKernel& kernel, Process& proc,
+                           const std::string& prefix, Nanos sleep, Nanos until,
+                           WorkloadStats* stats) {
+  uint64_t n = 0;
+  while (Now() < until) {
+    std::string path = prefix + "/f" + std::to_string(n++);
+    Nanos start = Now();
+    int64_t ino = co_await kernel.Creat(proc, path);
+    co_await kernel.Fsync(proc, ino);
+    stats->latency.Add(Now() - start);
+    ++stats->ops;
+    if (sleep > 0) {
+      co_await Delay(sleep);
+    }
+  }
+}
+
+Task<void> MemReader(OsKernel& kernel, Process& proc, int64_t ino,
+                     uint64_t region_bytes, uint64_t io_size, Nanos until,
+                     WorkloadStats* stats) {
+  // Warm the cache once.
+  for (uint64_t pos = 0; pos < region_bytes; pos += io_size) {
+    co_await kernel.Read(proc, ino, pos, io_size);
+  }
+  uint64_t offset = 0;
+  while (Now() < until) {
+    uint64_t n = co_await kernel.Read(proc, ino, offset, io_size);
+    stats->bytes += n;
+    ++stats->ops;
+    offset += io_size;
+    if (offset + io_size > region_bytes) {
+      offset = 0;
+    }
+  }
+}
+
+Task<void> MemWriter(OsKernel& kernel, Process& proc, int64_t ino,
+                     uint64_t region_bytes, uint64_t io_size, Nanos until,
+                     WorkloadStats* stats) {
+  uint64_t offset = 0;
+  while (Now() < until) {
+    uint64_t n = co_await kernel.Write(proc, ino, offset, io_size);
+    stats->bytes += n;
+    ++stats->ops;
+    offset += io_size;
+    if (offset + io_size > region_bytes) {
+      offset = 0;
+    }
+  }
+}
+
+Task<void> SpinLoop(CpuModel& cpu, Nanos until) {
+  while (Now() < until) {
+    co_await cpu.Consume(Msec(1));
+  }
+}
+
+}  // namespace splitio

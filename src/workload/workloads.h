@@ -1,0 +1,92 @@
+// Reusable workload generators — the paper's microbenchmark processes.
+//
+// Every generator is a coroutine that runs until a simulated-time horizon
+// and records throughput/latency into a WorkloadStats. Generators take the
+// OsKernel (system-call surface) and a Process identity.
+#ifndef SRC_WORKLOAD_WORKLOADS_H_
+#define SRC_WORKLOAD_WORKLOADS_H_
+
+#include <cstdint>
+
+#include "src/core/process.h"
+#include "src/metrics/stats.h"
+#include "src/sim/cpu.h"
+#include "src/sim/random.h"
+#include "src/syscall/kernel.h"
+
+namespace splitio {
+
+struct WorkloadStats {
+  uint64_t bytes = 0;
+  uint64_t ops = 0;
+  LatencyRecorder latency;
+
+  double MBps(Nanos start, Nanos end) const {
+    if (end <= start) {
+      return 0;
+    }
+    return static_cast<double>(bytes) / (1024.0 * 1024.0) /
+           ToSeconds(end - start);
+  }
+};
+
+// Streams `io_size` reads through the file, wrapping at file_bytes.
+Task<void> SequentialReader(OsKernel& kernel, Process& proc, int64_t ino,
+                            uint64_t file_bytes, uint64_t io_size, Nanos until,
+                            WorkloadStats* stats);
+
+// Random `io_size` reads within the file.
+Task<void> RandomReader(OsKernel& kernel, Process& proc, int64_t ino,
+                        uint64_t file_bytes, uint64_t io_size, uint64_t seed,
+                        Nanos until, WorkloadStats* stats);
+
+// Appends (or rewrites) sequentially with `io_size` writes.
+Task<void> SequentialWriter(OsKernel& kernel, Process& proc, int64_t ino,
+                            uint64_t io_size, Nanos until,
+                            WorkloadStats* stats);
+
+// Random `io_size` writes within a `file_bytes` region.
+Task<void> RandomWriter(OsKernel& kernel, Process& proc, int64_t ino,
+                        uint64_t file_bytes, uint64_t io_size, uint64_t seed,
+                        Nanos until, WorkloadStats* stats);
+
+// The Figure 6/13 pattern: sequentially access `run_bytes`, then seek to a
+// random offset; reads or writes.
+Task<void> RunSizeWorkload(OsKernel& kernel, Process& proc, int64_t ino,
+                           uint64_t file_bytes, uint64_t run_bytes,
+                           bool writes, uint64_t seed, Nanos until,
+                           WorkloadStats* stats);
+
+// Database-log pattern: append `block` bytes, fsync, repeat; records fsync
+// latencies.
+Task<void> AppendFsyncLoop(OsKernel& kernel, Process& proc, int64_t ino,
+                           uint64_t block, Nanos until, WorkloadStats* stats);
+
+// Checkpoint pattern: `nbytes` of random `block`-sized writes, then one
+// fsync; records fsync latencies; optional pause between rounds.
+Task<void> BigWriteFsyncLoop(OsKernel& kernel, Process& proc, int64_t ino,
+                             uint64_t file_bytes, uint64_t nbytes,
+                             uint64_t block, Nanos pause, uint64_t seed,
+                             Nanos until, WorkloadStats* stats);
+
+// Metadata pattern (Figure 17): create an empty file, fsync it, sleep.
+Task<void> CreateFsyncLoop(OsKernel& kernel, Process& proc,
+                           const std::string& prefix, Nanos sleep, Nanos until,
+                           WorkloadStats* stats);
+
+// Re-reads a cached region (in-memory reads; Figure 14 "read-mem").
+Task<void> MemReader(OsKernel& kernel, Process& proc, int64_t ino,
+                     uint64_t region_bytes, uint64_t io_size, Nanos until,
+                     WorkloadStats* stats);
+
+// Overwrites the same buffered region without fsync (Figure 14 "write-mem").
+Task<void> MemWriter(OsKernel& kernel, Process& proc, int64_t ino,
+                     uint64_t region_bytes, uint64_t io_size, Nanos until,
+                     WorkloadStats* stats);
+
+// Pure CPU burner (Figure 15 "spin loop").
+Task<void> SpinLoop(CpuModel& cpu, Nanos until);
+
+}  // namespace splitio
+
+#endif  // SRC_WORKLOAD_WORKLOADS_H_

@@ -1,0 +1,242 @@
+// Tests for the split-framework core: Process proxy semantics, hook
+// dispatch through the syscall layer, StorageStack wiring, and the journal
+// manager's transaction lifecycle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/block/noop.h"
+#include "src/core/scheduler.h"
+#include "src/core/storage_stack.h"
+#include "src/sim/simulator.h"
+
+namespace splitio {
+namespace {
+
+TEST(Process, CausesIsSelfByDefault) {
+  Process p(7, "app");
+  CauseSet causes = p.Causes();
+  EXPECT_EQ(causes.size(), 1u);
+  EXPECT_TRUE(causes.Contains(7));
+}
+
+TEST(Process, ProxyCausesReplaceSelf) {
+  Process p(7, "journal");
+  p.BeginProxy(CauseSet{1, 2});
+  CauseSet causes = p.Causes();
+  EXPECT_TRUE(causes.Contains(1));
+  EXPECT_TRUE(causes.Contains(2));
+  EXPECT_FALSE(causes.Contains(7));
+  p.EndProxy();
+  EXPECT_TRUE(p.Causes().Contains(7));
+}
+
+TEST(Process, ProxyWithEmptySetFallsBackToSelf) {
+  Process p(7, "wb");
+  p.BeginProxy(CauseSet{});
+  // A proxy serving "nobody" still needs an attribution: itself.
+  EXPECT_TRUE(p.Causes().Contains(7));
+}
+
+TEST(Process, AddProxyCauseAccumulates) {
+  Process p(7, "journal");
+  p.BeginProxy(CauseSet{1});
+  p.AddProxyCause(CauseSet{2});
+  EXPECT_TRUE(p.Causes().Contains(1));
+  EXPECT_TRUE(p.Causes().Contains(2));
+}
+
+TEST(Process, DeadlineSettingsDefaultToNone) {
+  Process p(1, "x");
+  EXPECT_EQ(p.read_deadline(), kNanosMax);
+  EXPECT_EQ(p.write_deadline(), kNanosMax);
+  EXPECT_EQ(p.fsync_deadline(), kNanosMax);
+  p.set_fsync_deadline(Msec(5));
+  EXPECT_EQ(p.fsync_deadline(), Msec(5));
+}
+
+// A recording scheduler that logs which hooks fire, in order.
+class RecordingScheduler : public SplitScheduler {
+ public:
+  std::string name() const override { return "recording"; }
+
+  Task<void> OnWriteEntry(Process&, int64_t, uint64_t, uint64_t) override {
+    log.push_back("write-entry");
+    co_return;
+  }
+  void OnWriteExit(Process&, int64_t, uint64_t) override {
+    log.push_back("write-exit");
+  }
+  Task<void> OnReadEntry(Process&, int64_t, uint64_t, uint64_t) override {
+    log.push_back("read-entry");
+    co_return;
+  }
+  void OnReadExit(Process&, int64_t, uint64_t) override {
+    log.push_back("read-exit");
+  }
+  Task<void> OnFsyncEntry(Process&, int64_t) override {
+    log.push_back("fsync-entry");
+    co_return;
+  }
+  void OnFsyncExit(Process&, int64_t) override { log.push_back("fsync-exit"); }
+  Task<void> OnMetaEntry(Process&, MetaOp op, const std::string&) override {
+    log.push_back(op == MetaOp::kCreat   ? "creat-entry"
+                  : op == MetaOp::kMkdir ? "mkdir-entry"
+                                         : "unlink-entry");
+    co_return;
+  }
+  void OnBufferDirty(Process&, Page&, bool, const CauseSet&) override {
+    log.push_back("buffer-dirty");
+  }
+  void OnBufferFree(Page&) override { log.push_back("buffer-free"); }
+  void OnBlockComplete(const BlockRequest& req) override {
+    log.push_back(req.is_write ? "block-complete-w" : "block-complete-r");
+  }
+
+  void Add(BlockRequestPtr req) override { ready_.push_back(std::move(req)); }
+  BlockRequestPtr Next() override {
+    if (ready_.empty()) {
+      return nullptr;
+    }
+    BlockRequestPtr r = std::move(ready_.front());
+    ready_.pop_front();
+    return r;
+  }
+  bool Empty() const override { return ready_.empty(); }
+
+  std::vector<std::string> log;
+
+ private:
+  std::deque<BlockRequestPtr> ready_;
+};
+
+TEST(SplitFramework, AllHookLevelsFireInOrder) {
+  Simulator sim;
+  StackConfig config;
+  CpuModel cpu(8);
+  auto sched = std::make_unique<RecordingScheduler>();
+  RecordingScheduler* rec = sched.get();
+  StorageStack stack(config, &cpu, std::move(sched), nullptr);
+  stack.Start();
+  Process* p = stack.NewProcess("app");
+  auto body = [&]() -> Task<void> {
+    int64_t ino = co_await stack.kernel().Creat(*p, "/f");
+    co_await stack.kernel().Write(*p, ino, 0, 2 * kPageSize);
+    co_await stack.kernel().Fsync(*p, ino);
+    co_await stack.kernel().Read(*p, ino, 0, kPageSize);
+    int64_t tmp = co_await stack.kernel().Creat(*p, "/tmp");
+    co_await stack.kernel().Write(*p, tmp, 0, kPageSize);
+    co_await stack.kernel().Unlink(*p, tmp);
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(10));
+
+  auto count = [&](const std::string& what) {
+    return std::count(rec->log.begin(), rec->log.end(), what);
+  };
+  EXPECT_EQ(count("creat-entry"), 2);
+  EXPECT_EQ(count("write-entry"), 2);
+  EXPECT_EQ(count("write-exit"), 2);
+  EXPECT_EQ(count("fsync-entry"), 1);
+  EXPECT_EQ(count("fsync-exit"), 1);
+  EXPECT_EQ(count("read-entry"), 1);
+  EXPECT_EQ(count("buffer-dirty"), 3);   // 2 pages + 1 page
+  EXPECT_EQ(count("buffer-free"), 1);    // unlink of the dirty tmp page
+  EXPECT_EQ(count("unlink-entry"), 1);
+  EXPECT_GE(count("block-complete-w"), 1);
+  // Hook ordering: write-entry precedes its buffer-dirty events.
+  auto first_write = std::find(rec->log.begin(), rec->log.end(), "write-entry");
+  auto first_dirty = std::find(rec->log.begin(), rec->log.end(), "buffer-dirty");
+  EXPECT_LT(first_write - rec->log.begin(), first_dirty - rec->log.begin());
+}
+
+TEST(SplitFramework, CacheHitReadFiresNoBlockHooks) {
+  Simulator sim;
+  StackConfig config;
+  CpuModel cpu(8);
+  auto sched = std::make_unique<RecordingScheduler>();
+  RecordingScheduler* rec = sched.get();
+  StorageStack stack(config, &cpu, std::move(sched), nullptr);
+  stack.Start();
+  Process* p = stack.NewProcess("app");
+  auto body = [&]() -> Task<void> {
+    int64_t ino = stack.fs().CreatePreallocated("/f", 1 << 20);
+    co_await stack.kernel().Read(*p, ino, 0, 1 << 20);  // miss: block I/O
+    rec->log.clear();
+    co_await stack.kernel().Read(*p, ino, 0, 1 << 20);  // hit
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(5));
+  // The hit fired the (ignorable) syscall hooks but no block activity.
+  EXPECT_EQ(std::count(rec->log.begin(), rec->log.end(), "block-complete-r"),
+            0);
+}
+
+TEST(StorageStack, NewProcessesGetDistinctPids) {
+  Simulator sim;
+  StackConfig config;
+  CpuModel cpu(8);
+  StorageStack stack(config, &cpu, nullptr, std::make_unique<NoopElevator>());
+  Process* a = stack.NewProcess("a");
+  Process* b = stack.NewProcess("b");
+  EXPECT_NE(a->pid(), b->pid());
+  EXPECT_EQ(a->name(), "a");
+}
+
+TEST(StorageStack, FsKindSelectsImplementation) {
+  Simulator sim;
+  CpuModel cpu(8);
+  StackConfig ext4_config;
+  StorageStack ext4_stack(ext4_config, &cpu, nullptr,
+                          std::make_unique<NoopElevator>());
+  EXPECT_NE(ext4_stack.ext4(), nullptr);
+  EXPECT_EQ(ext4_stack.xfs(), nullptr);
+  EXPECT_EQ(ext4_stack.fs().name(), "ext4");
+  StackConfig xfs_config;
+  xfs_config.fs = StackConfig::FsKind::kXfs;
+  // A single Simulator can host several stacks (as the HDFS cluster does).
+  StorageStack xfs_stack(xfs_config, &cpu, nullptr,
+                         std::make_unique<NoopElevator>());
+  EXPECT_NE(xfs_stack.xfs(), nullptr);
+  EXPECT_EQ(xfs_stack.fs().name(), "xfs");
+}
+
+TEST(Journal, RunningTxTracksInodesAndCauses) {
+  Simulator sim;
+  StackConfig config;
+  CpuModel cpu(8);
+  StorageStack stack(config, &cpu, nullptr, std::make_unique<NoopElevator>());
+  stack.Start();
+  Process* p = stack.NewProcess("app");
+  Jbd2Journal& journal = stack.ext4()->journal();
+  auto body = [&]() -> Task<void> {
+    int64_t ino = co_await stack.kernel().Creat(*p, "/f");
+    EXPECT_TRUE(journal.InodeInRunningTx(ino));
+    EXPECT_TRUE(journal.RunningTxHasUpdates());
+    co_await stack.kernel().Fsync(*p, ino);
+    // Commit rotated the running transaction.
+    EXPECT_FALSE(journal.InodeInRunningTx(ino));
+    EXPECT_GE(journal.commits_done(), 1u);
+    EXPECT_GT(journal.journal_bytes_written(), 0u);
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(5));
+}
+
+TEST(Journal, EmptyTxCommitIsFree) {
+  Simulator sim;
+  StackConfig config;
+  CpuModel cpu(8);
+  StorageStack stack(config, &cpu, nullptr, std::make_unique<NoopElevator>());
+  stack.Start();
+  // Let periodic commits tick with nothing to do.
+  sim.Run(Sec(12));
+  EXPECT_EQ(stack.ext4()->journal().journal_bytes_written(), 0u);
+}
+
+}  // namespace
+}  // namespace splitio

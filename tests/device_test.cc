@@ -1,0 +1,106 @@
+// Unit tests for the HDD and SSD device models.
+#include <gtest/gtest.h>
+
+#include "src/device/device.h"
+#include "src/sim/simulator.h"
+
+namespace splitio {
+namespace {
+
+Nanos RunOne(BlockDevice& dev, const DeviceRequest& req) {
+  Simulator sim;
+  Nanos service = -1;
+  auto body = [&]() -> Task<void> { service = co_await dev.Execute(req); };
+  sim.Spawn(body());
+  sim.Run();
+  return service;
+}
+
+TEST(HddModel, SequentialIsCheap) {
+  HddModel hdd;
+  // First request from sector 0 with head at 0: pure transfer.
+  Nanos t = RunOne(hdd, {0, kPageSize, false});
+  EXPECT_LT(t, Usec(100));
+  // Next contiguous request: still cheap.
+  Nanos t2 = RunOne(hdd, {kPageSize / kSectorSize, kPageSize, false});
+  EXPECT_LT(t2, Usec(100));
+}
+
+TEST(HddModel, RandomPaysSeekAndRotation) {
+  HddModel hdd;
+  RunOne(hdd, {0, kPageSize, false});
+  Nanos t = RunOne(hdd, {hdd.capacity_sectors() / 2, kPageSize, false});
+  // Half-stroke seek + half rotation: several milliseconds.
+  EXPECT_GT(t, Msec(5));
+  EXPECT_LT(t, Msec(25));
+}
+
+TEST(HddModel, SeekGrowsWithDistance) {
+  HddConfig config;
+  HddModel hdd(config);
+  DeviceRequest near{10000, kPageSize, false};
+  DeviceRequest far{hdd.capacity_sectors() - 1000, kPageSize, false};
+  Nanos cost_near = hdd.EstimateCost(near);
+  Nanos cost_far = hdd.EstimateCost(far);
+  EXPECT_LT(cost_near, cost_far);
+}
+
+TEST(HddModel, SequentialThroughputMatchesBandwidth) {
+  HddModel hdd;
+  Simulator sim;
+  constexpr int kBlocks = 1000;
+  auto body = [&]() -> Task<void> {
+    for (int i = 0; i < kBlocks; ++i) {
+      co_await hdd.Execute(
+          {static_cast<uint64_t>(i) * (kPageSize / kSectorSize), kPageSize,
+           true});
+    }
+  };
+  sim.Spawn(body());
+  sim.Run();
+  double mbps = static_cast<double>(kBlocks) * kPageSize / 1e6 /
+                ToSeconds(sim.Now());
+  EXPECT_NEAR(mbps, 110.0, 5.0);
+}
+
+TEST(HddModel, TracksTraffic) {
+  HddModel hdd;
+  RunOne(hdd, {0, kPageSize, false});
+  RunOne(hdd, {100, 2 * kPageSize, true});
+  EXPECT_EQ(hdd.total_bytes_read(), kPageSize);
+  EXPECT_EQ(hdd.total_bytes_written(), 2u * kPageSize);
+  EXPECT_GT(hdd.busy_time(), 0);
+}
+
+TEST(SsdModel, RandomReadNearlySequentialRead) {
+  SsdModel ssd;
+  Nanos seq = ssd.EstimateCost({0, kPageSize, false});
+  Nanos rand = ssd.EstimateCost({ssd.capacity_sectors() / 2, kPageSize, false});
+  EXPECT_EQ(seq, rand);
+}
+
+TEST(SsdModel, MuchFasterThanHddForRandom) {
+  SsdModel ssd;
+  HddModel hdd;
+  uint64_t target = ssd.capacity_sectors() / 2;
+  EXPECT_LT(ssd.EstimateCost({target, kPageSize, false}) * 20,
+            hdd.EstimateCost({target, kPageSize, false}));
+}
+
+TEST(SsdModel, RandomWritePenaltyApplies) {
+  SsdModel ssd;
+  Simulator sim;
+  Nanos seq_time = 0;
+  Nanos rand_time = 0;
+  auto body = [&]() -> Task<void> {
+    co_await ssd.Execute({0, kPageSize, true});
+    seq_time = co_await ssd.Execute({kPageSize / kSectorSize, kPageSize, true});
+    rand_time = co_await ssd.Execute({999999, kPageSize, true});
+  };
+  sim.Spawn(body());
+  sim.Run();
+  EXPECT_GT(rand_time, seq_time);
+}
+
+}  // namespace
+}  // namespace splitio

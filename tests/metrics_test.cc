@@ -1,0 +1,87 @@
+// Tests for the measurement helpers.
+#include <gtest/gtest.h>
+
+#include "src/metrics/stats.h"
+
+namespace splitio {
+namespace {
+
+TEST(LatencyRecorder, PercentilesOnKnownDistribution) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) {
+    rec.Add(Msec(i));
+  }
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_EQ(rec.Percentile(0), Msec(1));
+  EXPECT_EQ(rec.Percentile(50), Msec(50));
+  EXPECT_EQ(rec.Percentile(99), Msec(99));
+  EXPECT_EQ(rec.Percentile(100), Msec(100));
+  EXPECT_EQ(rec.Max(), Msec(100));
+}
+
+TEST(LatencyRecorder, EmptyIsZero) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.Percentile(50), 0);
+  EXPECT_EQ(rec.Max(), 0);
+  EXPECT_DOUBLE_EQ(rec.MeanMillis(), 0);
+}
+
+TEST(LatencyRecorder, AddAfterSortStillCorrect) {
+  LatencyRecorder rec;
+  rec.Add(Msec(10));
+  EXPECT_EQ(rec.Percentile(50), Msec(10));
+  rec.Add(Msec(2));  // after a sorted read
+  EXPECT_EQ(rec.Percentile(0), Msec(2));
+  EXPECT_EQ(rec.Max(), Msec(10));
+}
+
+TEST(LatencyRecorder, MeanMillis) {
+  LatencyRecorder rec;
+  rec.Add(Msec(10));
+  rec.Add(Msec(20));
+  rec.Add(Msec(30));
+  EXPECT_DOUBLE_EQ(rec.MeanMillis(), 20.0);
+}
+
+TEST(ThroughputMeter, ComputesMBps) {
+  ThroughputMeter meter;
+  meter.Start(0);
+  meter.AddBytes(10 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(meter.MBps(Sec(2)), 5.0);
+  meter.Reset(Sec(2));
+  EXPECT_EQ(meter.bytes(), 0u);
+  EXPECT_DOUBLE_EQ(meter.MBps(Sec(3)), 0.0);
+}
+
+TEST(ThroughputMeter, ZeroElapsedIsZero) {
+  ThroughputMeter meter;
+  meter.Start(Sec(1));
+  meter.AddBytes(1024);
+  EXPECT_DOUBLE_EQ(meter.MBps(Sec(1)), 0.0);
+}
+
+TEST(Summary, Statistics) {
+  Summary s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stdev, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s = Summarize({});
+  EXPECT_DOUBLE_EQ(s.mean, 0);
+  EXPECT_DOUBLE_EQ(s.stdev, 0);
+}
+
+TEST(TimeSeries, StoresPoints) {
+  TimeSeries ts;
+  ts.Add(Sec(1), 10.0);
+  ts.Add(Sec(2), 20.0);
+  ASSERT_EQ(ts.points().size(), 2u);
+  EXPECT_EQ(ts.points()[0].first, Sec(1));
+  EXPECT_DOUBLE_EQ(ts.points()[1].second, 20.0);
+}
+
+}  // namespace
+}  // namespace splitio

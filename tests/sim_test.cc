@@ -1,0 +1,295 @@
+// Unit tests for the discrete-event simulator core: clock, task
+// composition, spawn/join, synchronization primitives, CPU model, RNG.
+//
+// Note the lambda-coroutine convention (see src/sim/task.h): every capturing
+// lambda coroutine is named so its closure outlives Simulator::Run().
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/cpu.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace splitio {
+namespace {
+
+TEST(SimTime, UnitHelpers) {
+  EXPECT_EQ(Usec(3), 3000);
+  EXPECT_EQ(Msec(2), 2000000);
+  EXPECT_EQ(Sec(1), 1000000000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Sec(5)), 5.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Msec(7)), 7.0);
+}
+
+TEST(SimTime, TransferTime) {
+  // 100 MB/s -> 1 MB takes 10 ms.
+  EXPECT_EQ(TransferTime(1000000, 100.0 * 1000 * 1000), Msec(10));
+}
+
+TEST(Simulator, ClockAdvancesWithDelays) {
+  Simulator sim;
+  std::vector<Nanos> timestamps;
+  auto body = [&]() -> Task<void> {
+    timestamps.push_back(Simulator::current().Now());
+    co_await Delay(Msec(5));
+    timestamps.push_back(Simulator::current().Now());
+    co_await Delay(Msec(10));
+    timestamps.push_back(Simulator::current().Now());
+  };
+  sim.Spawn(body());
+  sim.Run();
+  ASSERT_EQ(timestamps.size(), 3u);
+  EXPECT_EQ(timestamps[0], 0);
+  EXPECT_EQ(timestamps[1], Msec(5));
+  EXPECT_EQ(timestamps[2], Msec(15));
+}
+
+TEST(Simulator, TasksInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<int> order;
+  auto worker = [&](int id, Nanos period) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await Delay(period);
+      order.push_back(id);
+    }
+  };
+  sim.Spawn(worker(1, Msec(10)));
+  sim.Spawn(worker(2, Msec(15)));
+  sim.Run();
+  // Wake-ups: t=10:1, t=15:2, t=20:1, t=30: worker 2 enqueued its wake-up at
+  // t=15, worker 1 at t=20, so 2 precedes 1; t=45:2.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(Simulator, NestedTaskComposition) {
+  Simulator sim;
+  Nanos finish = -1;
+  auto inner = [](Nanos d) -> Task<int> {
+    co_await Delay(d);
+    co_return 42;
+  };
+  auto outer = [&]() -> Task<void> {
+    int v = co_await inner(Msec(3));
+    EXPECT_EQ(v, 42);
+    v = co_await inner(Msec(4));
+    EXPECT_EQ(v, 42);
+    finish = Simulator::current().Now();
+  };
+  sim.Spawn(outer());
+  sim.Run();
+  EXPECT_EQ(finish, Msec(7));
+}
+
+TEST(Simulator, JoinWaitsForCompletion) {
+  Simulator sim;
+  bool child_done = false;
+  auto child_body = [&]() -> Task<void> {
+    co_await Delay(Msec(50));
+    child_done = true;
+  };
+  JoinHandle child = sim.Spawn(child_body());
+  bool observed = false;
+  auto joiner = [&]() -> Task<void> {
+    co_await Join(child);
+    observed = child_done;
+    EXPECT_EQ(Simulator::current().Now(), Msec(50));
+  };
+  sim.Spawn(joiner());
+  sim.Run();
+  EXPECT_TRUE(observed);
+}
+
+TEST(Simulator, JoinOnFinishedTaskReturnsImmediately) {
+  Simulator sim;
+  auto noop = []() -> Task<void> { co_return; };
+  JoinHandle child = sim.Spawn(noop());
+  bool ran = false;
+  auto joiner = [&]() -> Task<void> {
+    co_await Delay(Msec(10));
+    co_await Join(child);  // already done
+    ran = true;
+    EXPECT_EQ(Simulator::current().Now(), Msec(10));
+  };
+  sim.Spawn(joiner());
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilStopsClock) {
+  Simulator sim;
+  int ticks = 0;
+  auto ticker = [&]() -> Task<void> {
+    for (;;) {
+      co_await Delay(Msec(10));
+      ++ticks;
+    }
+  };
+  sim.Spawn(ticker());
+  sim.Run(Msec(95));
+  EXPECT_EQ(ticks, 9);
+  EXPECT_EQ(sim.Now(), Msec(95));
+}
+
+TEST(Event, NotifyOneWakesInFifoOrder) {
+  Simulator sim;
+  Event event;
+  std::vector<int> woke;
+  auto waiter = [&](int id) -> Task<void> {
+    co_await event.Wait();
+    woke.push_back(id);
+  };
+  auto notifier = [&]() -> Task<void> {
+    co_await Delay(Msec(1));
+    event.NotifyOne();
+    co_await Delay(Msec(1));
+    event.NotifyOne();
+    co_await Delay(Msec(1));
+    event.NotifyAll();
+  };
+  sim.Spawn(waiter(1));
+  sim.Spawn(waiter(2));
+  sim.Spawn(waiter(3));
+  sim.Spawn(notifier());
+  sim.Run();
+  EXPECT_EQ(woke, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Latch, ReleasesAllWaitersAndLaterArrivals) {
+  Simulator sim;
+  Latch latch;
+  int released = 0;
+  auto waiter = [&]() -> Task<void> {
+    co_await latch.Wait();
+    ++released;
+  };
+  auto setter = [&]() -> Task<void> {
+    co_await Delay(Msec(2));
+    latch.Set();
+  };
+  auto late_waiter = [&]() -> Task<void> {
+    co_await Delay(Msec(5));  // after Set
+    co_await latch.Wait();
+    ++released;
+  };
+  sim.Spawn(waiter());
+  sim.Spawn(waiter());
+  sim.Spawn(setter());
+  sim.Spawn(late_waiter());
+  sim.Run();
+  EXPECT_EQ(released, 3);
+  EXPECT_TRUE(latch.is_set());
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Simulator sim;
+  Semaphore sem(2);
+  int active = 0;
+  int max_active = 0;
+  auto worker = [&]() -> Task<void> {
+    co_await sem.Acquire();
+    ++active;
+    max_active = std::max(max_active, active);
+    co_await Delay(Msec(10));
+    --active;
+    sem.Release();
+  };
+  for (int i = 0; i < 6; ++i) {
+    sim.Spawn(worker());
+  }
+  sim.Run();
+  EXPECT_EQ(max_active, 2);
+  EXPECT_EQ(sim.Now(), Msec(30));
+}
+
+TEST(Mutex, ProvidesMutualExclusion) {
+  Simulator sim;
+  Mutex mu;
+  std::vector<int> log;
+  auto critical = [&](int id) -> Task<void> {
+    co_await mu.Lock();
+    log.push_back(id);
+    co_await Delay(Msec(5));
+    log.push_back(id);
+    mu.Unlock();
+  };
+  sim.Spawn(critical(1));
+  sim.Spawn(critical(2));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<int>{1, 1, 2, 2}));
+}
+
+TEST(CpuModel, UncontendedRunsAtFullSpeed) {
+  Simulator sim;
+  CpuModel cpu(4);
+  Nanos elapsed = -1;
+  auto body = [&]() -> Task<void> {
+    Nanos start = Simulator::current().Now();
+    co_await cpu.Consume(Msec(10));
+    elapsed = Simulator::current().Now() - start;
+  };
+  sim.Spawn(body());
+  sim.Run();
+  EXPECT_EQ(elapsed, Msec(10));
+}
+
+TEST(CpuModel, OverloadStretchesWork) {
+  Simulator sim;
+  CpuModel cpu(2);
+  std::vector<Nanos> elapsed;
+  auto burn = [&]() -> Task<void> {
+    Nanos start = Simulator::current().Now();
+    co_await cpu.Consume(Msec(10));
+    elapsed.push_back(Simulator::current().Now() - start);
+  };
+  for (int i = 0; i < 8; ++i) {
+    sim.Spawn(burn());
+  }
+  sim.Run();
+  ASSERT_EQ(elapsed.size(), 8u);
+  // 8 runnable on 2 cores -> roughly 4x stretch.
+  for (Nanos e : elapsed) {
+    EXPECT_GE(e, Msec(30));
+    EXPECT_LE(e, Msec(45));
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Below(17);
+    EXPECT_LT(v, 17u);
+    int64_t r = rng.Range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace splitio

@@ -1,0 +1,161 @@
+// Focused tests for Event::WaitWithTimeout and other sync edge cases —
+// including regression coverage for the GCC-12 awaiter double-destruction
+// hazard this code works around (see src/sim/task.h).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+
+namespace splitio {
+namespace {
+
+TEST(WaitWithTimeout, NotifiedBeforeTimeout) {
+  Simulator sim;
+  Event event;
+  bool notified_result = false;
+  Nanos woke_at = -1;
+  auto waiter = [&]() -> Task<void> {
+    notified_result = co_await event.WaitWithTimeout(Msec(100));
+    woke_at = Simulator::current().Now();
+  };
+  auto notifier = [&]() -> Task<void> {
+    co_await Delay(Msec(10));
+    event.NotifyAll();
+  };
+  sim.Spawn(waiter());
+  sim.Spawn(notifier());
+  sim.Run();
+  EXPECT_TRUE(notified_result);
+  EXPECT_EQ(woke_at, Msec(10));
+}
+
+TEST(WaitWithTimeout, TimesOutWithoutNotification) {
+  Simulator sim;
+  Event event;
+  bool notified_result = true;
+  Nanos woke_at = -1;
+  auto waiter = [&]() -> Task<void> {
+    notified_result = co_await event.WaitWithTimeout(Msec(25));
+    woke_at = Simulator::current().Now();
+  };
+  sim.Spawn(waiter());
+  sim.Run();
+  EXPECT_FALSE(notified_result);
+  EXPECT_EQ(woke_at, Msec(25));
+}
+
+TEST(WaitWithTimeout, LateNotifyDoesNotDoubleResume) {
+  Simulator sim;
+  Event event;
+  int wakes = 0;
+  auto waiter = [&]() -> Task<void> {
+    co_await event.WaitWithTimeout(Msec(5));
+    ++wakes;
+    co_await Delay(Msec(100));  // stay alive past the late notify
+    ++wakes;
+  };
+  auto late_notifier = [&]() -> Task<void> {
+    co_await Delay(Msec(50));  // after the timeout fired
+    event.NotifyAll();
+    event.NotifyOne();
+  };
+  sim.Spawn(waiter());
+  sim.Spawn(late_notifier());
+  sim.Run();
+  EXPECT_EQ(wakes, 2);  // exactly one wake from the wait, one from the delay
+}
+
+TEST(WaitWithTimeout, RepeatedUseInLoop) {
+  // The dispatch-loop pattern: many timed waits in sequence, with notifies
+  // racing timeouts. Exercises the cancellation bookkeeping heavily.
+  Simulator sim;
+  Event event;
+  int notified_count = 0;
+  int timeout_count = 0;
+  auto looper = [&]() -> Task<void> {
+    for (int i = 0; i < 50; ++i) {
+      if (co_await event.WaitWithTimeout(Msec(3))) {
+        ++notified_count;
+      } else {
+        ++timeout_count;
+      }
+    }
+  };
+  auto notifier = [&]() -> Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      co_await Delay(Msec(7));
+      event.NotifyAll();
+    }
+  };
+  sim.Spawn(looper());
+  sim.Spawn(notifier());
+  sim.Run();
+  EXPECT_EQ(notified_count + timeout_count, 50);
+  EXPECT_GT(notified_count, 5);
+  EXPECT_GT(timeout_count, 5);
+}
+
+TEST(WaitWithTimeout, MultipleWaitersMixedOutcomes) {
+  Simulator sim;
+  Event event;
+  std::vector<bool> results;
+  auto waiter = [&](Nanos timeout) -> Task<void> {
+    results.push_back(co_await event.WaitWithTimeout(timeout));
+  };
+  auto notifier = [&]() -> Task<void> {
+    co_await Delay(Msec(20));
+    event.NotifyAll();
+  };
+  sim.Spawn(waiter(Msec(5)));   // times out at 5 ms
+  sim.Spawn(waiter(Msec(50)));  // notified at 20 ms
+  sim.Spawn(notifier());
+  sim.Run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0]);
+  EXPECT_TRUE(results[1]);
+}
+
+TEST(Semaphore, TryAcquireNonBlocking) {
+  Semaphore sem(1);
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_FALSE(sem.TryAcquire());
+  sem.Release();
+  EXPECT_TRUE(sem.TryAcquire());
+}
+
+TEST(Delay, ZeroAndNegativeDelaysCompleteImmediately) {
+  Simulator sim;
+  int steps = 0;
+  auto body = [&]() -> Task<void> {
+    co_await Delay(0);
+    ++steps;
+    co_await Delay(-5);
+    ++steps;
+    EXPECT_EQ(Simulator::current().Now(), 0);
+  };
+  sim.Spawn(body());
+  sim.Run();
+  EXPECT_EQ(steps, 2);
+}
+
+TEST(Event, NotifyWithNoWaitersIsNoOp) {
+  Simulator sim;
+  Event event;
+  event.NotifyOne();
+  event.NotifyAll();
+  EXPECT_FALSE(event.has_waiters());
+  // A waiter arriving after stray notifications still waits (CV semantics).
+  bool woke = false;
+  auto waiter = [&]() -> Task<void> {
+    co_await event.Wait();
+    woke = true;
+  };
+  sim.Spawn(waiter());
+  sim.Run(Msec(10));
+  EXPECT_FALSE(woke);
+}
+
+}  // namespace
+}  // namespace splitio

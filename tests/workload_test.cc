@@ -1,0 +1,169 @@
+// Tests for the workload generators.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/block/noop.h"
+#include "src/core/storage_stack.h"
+#include "src/sim/simulator.h"
+#include "src/workload/workloads.h"
+
+namespace splitio {
+namespace {
+
+struct Harness {
+  Harness() {
+    StackConfig config;
+    cpu = std::make_unique<CpuModel>(8);
+    stack = std::make_unique<StorageStack>(config, cpu.get(), nullptr,
+                                           std::make_unique<NoopElevator>());
+    stack->Start();
+  }
+  std::unique_ptr<CpuModel> cpu;
+  std::unique_ptr<StorageStack> stack;
+};
+
+TEST(Workloads, SequentialReaderWrapsAroundFile) {
+  Simulator sim;
+  Harness h;
+  Process* p = h.stack->NewProcess("r");
+  int64_t ino = h.stack->fs().CreatePreallocated("/f", 1 << 20);
+  WorkloadStats stats;
+  auto body = [&]() -> Task<void> {
+    co_await SequentialReader(h.stack->kernel(), *p, ino, 1 << 20, 256 * 1024,
+                              Sec(5), &stats);
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(5));
+  // Wrapping re-reads hit the cache, so ops greatly exceed one pass.
+  EXPECT_GT(stats.ops, 100u);
+  EXPECT_EQ(stats.bytes, stats.ops * 256 * 1024);
+}
+
+TEST(Workloads, RandomReaderStaysInBounds) {
+  Simulator sim;
+  Harness h;
+  Process* p = h.stack->NewProcess("r");
+  int64_t ino = h.stack->fs().CreatePreallocated("/f", 16 << 20);
+  WorkloadStats stats;
+  auto body = [&]() -> Task<void> {
+    co_await RandomReader(h.stack->kernel(), *p, ino, 16 << 20, 4096, 5,
+                          Sec(2), &stats);
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(2));
+  EXPECT_GT(stats.ops, 10u);
+  // All reads were within the file: bytes read from device never exceed the
+  // file size (no out-of-range I/O).
+  EXPECT_LE(h.stack->device().total_bytes_read(), 16u << 20);
+}
+
+TEST(Workloads, AppendFsyncRecordsLatencies) {
+  Simulator sim;
+  Harness h;
+  Process* p = h.stack->NewProcess("w");
+  WorkloadStats stats;
+  auto body = [&]() -> Task<void> {
+    int64_t ino = co_await h.stack->kernel().Creat(*p, "/log");
+    co_await AppendFsyncLoop(h.stack->kernel(), *p, ino, 4096, Sec(3),
+                             &stats);
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(3));
+  EXPECT_GT(stats.latency.count(), 10u);
+  EXPECT_GT(stats.latency.Percentile(50), 0);
+  // The file grew by one block per op (plus possibly one write whose fsync
+  // the simulation cut off).
+  uint64_t size = h.stack->fs().FileSize(h.stack->fs().Lookup("/log"));
+  EXPECT_GE(size, stats.ops * 4096);
+  EXPECT_LE(size, (stats.ops + 1) * 4096);
+}
+
+TEST(Workloads, BigWriteFsyncRespectsPause) {
+  Simulator sim;
+  Harness h;
+  Process* p = h.stack->NewProcess("w");
+  WorkloadStats stats;
+  auto body = [&]() -> Task<void> {
+    int64_t ino = co_await h.stack->kernel().Creat(*p, "/db");
+    co_await h.stack->kernel().Write(*p, ino, 0, 4 << 20);
+    co_await h.stack->kernel().Fsync(*p, ino);
+    co_await BigWriteFsyncLoop(h.stack->kernel(), *p, ino, 4 << 20, 64 * 1024,
+                               4096, Msec(200), 3, Sec(3), &stats);
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(3));
+  EXPECT_GT(stats.ops, 2u);
+  // With a 200 ms pause the loop cannot run more than ~15 rounds in 3 s.
+  EXPECT_LT(stats.ops, 16u);
+}
+
+TEST(Workloads, CreateFsyncMakesDistinctFiles) {
+  Simulator sim;
+  Harness h;
+  Process* p = h.stack->NewProcess("c");
+  WorkloadStats stats;
+  auto body = [&]() -> Task<void> {
+    co_await CreateFsyncLoop(h.stack->kernel(), *p, "/dir", Msec(50), Sec(2),
+                             &stats);
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(2));
+  EXPECT_GT(stats.ops, 5u);
+  EXPECT_GE(h.stack->fs().Lookup("/dir/f0"), 0);
+  EXPECT_GE(h.stack->fs().Lookup("/dir/f1"), 0);
+}
+
+TEST(Workloads, MemReaderMostlyAvoidsDevice) {
+  Simulator sim;
+  Harness h;
+  Process* p = h.stack->NewProcess("m");
+  int64_t ino = h.stack->fs().CreatePreallocated("/m", 8 << 20);
+  WorkloadStats stats;
+  auto body = [&]() -> Task<void> {
+    co_await MemReader(h.stack->kernel(), *p, ino, 8 << 20, 1 << 20, Sec(3),
+                       &stats);
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(3));
+  // One warm pass from disk; everything else from cache.
+  EXPECT_EQ(h.stack->device().total_bytes_read(), 8u << 20);
+  EXPECT_GT(stats.bytes, 100u << 20);
+}
+
+TEST(Workloads, SpinLoopConsumesCpuOnly) {
+  Simulator sim;
+  Harness h;
+  auto body = [&]() -> Task<void> { co_await SpinLoop(*h.cpu, Sec(1)); };
+  sim.Spawn(body());
+  sim.Run(Sec(2));
+  EXPECT_EQ(h.stack->device().total_bytes_read(), 0u);
+  EXPECT_EQ(h.stack->device().total_bytes_written(), 0u);
+}
+
+// Property sweep: for any run size, RunSizeWorkload only touches offsets
+// within the file and always makes progress.
+class RunSizeSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RunSizeSweep, ProgressAndBounds) {
+  Simulator sim;
+  Harness h;
+  Process* p = h.stack->NewProcess("b");
+  int64_t ino = h.stack->fs().CreatePreallocated("/f", 64 << 20);
+  WorkloadStats stats;
+  auto body = [&]() -> Task<void> {
+    co_await RunSizeWorkload(h.stack->kernel(), *p, ino, 64 << 20, GetParam(),
+                             /*writes=*/false, 9, Sec(2), &stats);
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(2));
+  EXPECT_GT(stats.ops, 0u);
+  EXPECT_LE(h.stack->device().total_bytes_read(), 64u << 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRunSizes, RunSizeSweep,
+                         ::testing::Values(4096, 16384, 65536, 262144,
+                                           1048576, 4194304));
+
+}  // namespace
+}  // namespace splitio
