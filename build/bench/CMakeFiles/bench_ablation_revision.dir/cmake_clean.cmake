@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_revision.dir/bench_ablation_revision.cc.o"
+  "CMakeFiles/bench_ablation_revision.dir/bench_ablation_revision.cc.o.d"
+  "bench_ablation_revision"
+  "bench_ablation_revision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_revision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tags.dir/bench_ablation_tags.cc.o"
+  "CMakeFiles/bench_ablation_tags.dir/bench_ablation_tags.cc.o.d"
+  "bench_ablation_tags"
+  "bench_ablation_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_writeback.dir/bench_ablation_writeback.cc.o"
+  "CMakeFiles/bench_ablation_writeback.dir/bench_ablation_writeback.cc.o.d"
+  "bench_ablation_writeback"
+  "bench_ablation_writeback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_writeback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

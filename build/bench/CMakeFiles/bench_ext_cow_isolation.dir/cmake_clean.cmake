@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cow_isolation.dir/bench_ext_cow_isolation.cc.o"
+  "CMakeFiles/bench_ext_cow_isolation.dir/bench_ext_cow_isolation.cc.o.d"
+  "bench_ext_cow_isolation"
+  "bench_ext_cow_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cow_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_write_burst.dir/bench_fig01_write_burst.cc.o"
+  "CMakeFiles/bench_fig01_write_burst.dir/bench_fig01_write_burst.cc.o.d"
+  "bench_fig01_write_burst"
+  "bench_fig01_write_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_write_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_cfq_async_write.dir/bench_fig03_cfq_async_write.cc.o"
+  "CMakeFiles/bench_fig03_cfq_async_write.dir/bench_fig03_cfq_async_write.cc.o.d"
+  "bench_fig03_cfq_async_write"
+  "bench_fig03_cfq_async_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_cfq_async_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

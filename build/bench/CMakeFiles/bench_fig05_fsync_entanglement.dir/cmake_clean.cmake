@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_fsync_entanglement.dir/bench_fig05_fsync_entanglement.cc.o"
+  "CMakeFiles/bench_fig05_fsync_entanglement.dir/bench_fig05_fsync_entanglement.cc.o.d"
+  "bench_fig05_fsync_entanglement"
+  "bench_fig05_fsync_entanglement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_fsync_entanglement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

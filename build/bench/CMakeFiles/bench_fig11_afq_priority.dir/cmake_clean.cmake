@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_afq_priority.dir/bench_fig11_afq_priority.cc.o"
+  "CMakeFiles/bench_fig11_afq_priority.dir/bench_fig11_afq_priority.cc.o.d"
+  "bench_fig11_afq_priority"
+  "bench_fig11_afq_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_afq_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_token_comparison.dir/bench_fig14_token_comparison.cc.o"
+  "CMakeFiles/bench_fig14_token_comparison.dir/bench_fig14_token_comparison.cc.o.d"
+  "bench_fig14_token_comparison"
+  "bench_fig14_token_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_token_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

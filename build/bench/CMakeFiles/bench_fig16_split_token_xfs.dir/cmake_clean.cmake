@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_split_token_xfs.dir/bench_fig16_split_token_xfs.cc.o"
+  "CMakeFiles/bench_fig16_split_token_xfs.dir/bench_fig16_split_token_xfs.cc.o.d"
+  "bench_fig16_split_token_xfs"
+  "bench_fig16_split_token_xfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_split_token_xfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_metadata_integration.dir/bench_fig17_metadata_integration.cc.o"
+  "CMakeFiles/bench_fig17_metadata_integration.dir/bench_fig17_metadata_integration.cc.o.d"
+  "bench_fig17_metadata_integration"
+  "bench_fig17_metadata_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_metadata_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_sqlite_tail.dir/bench_fig18_sqlite_tail.cc.o"
+  "CMakeFiles/bench_fig18_sqlite_tail.dir/bench_fig18_sqlite_tail.cc.o.d"
+  "bench_fig18_sqlite_tail"
+  "bench_fig18_sqlite_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_sqlite_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_qemu.dir/bench_fig20_qemu.cc.o"
+  "CMakeFiles/bench_fig20_qemu.dir/bench_fig20_qemu.cc.o.d"
+  "bench_fig20_qemu"
+  "bench_fig20_qemu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_qemu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

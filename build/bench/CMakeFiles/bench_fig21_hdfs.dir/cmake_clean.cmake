@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_hdfs.dir/bench_fig21_hdfs.cc.o"
+  "CMakeFiles/bench_fig21_hdfs.dir/bench_fig21_hdfs.cc.o.d"
+  "bench_fig21_hdfs"
+  "bench_fig21_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

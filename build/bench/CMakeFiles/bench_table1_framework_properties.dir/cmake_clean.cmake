@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_framework_properties.dir/bench_table1_framework_properties.cc.o"
+  "CMakeFiles/bench_table1_framework_properties.dir/bench_table1_framework_properties.cc.o.d"
+  "bench_table1_framework_properties"
+  "bench_table1_framework_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_framework_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_database_fsync.dir/database_fsync.cpp.o"
+  "CMakeFiles/example_database_fsync.dir/database_fsync.cpp.o.d"
+  "example_database_fsync"
+  "example_database_fsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_database_fsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_database_fsync.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hdfs_cluster.dir/hdfs_cluster.cpp.o"
+  "CMakeFiles/example_hdfs_cluster.dir/hdfs_cluster.cpp.o.d"
+  "example_hdfs_cluster"
+  "example_hdfs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hdfs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_io_tracing.dir/io_tracing.cpp.o"
+  "CMakeFiles/example_io_tracing.dir/io_tracing.cpp.o.d"
+  "example_io_tracing"
+  "example_io_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_io_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_tenant_isolation.dir/multi_tenant_isolation.cpp.o"
+  "CMakeFiles/example_multi_tenant_isolation.dir/multi_tenant_isolation.cpp.o.d"
+  "example_multi_tenant_isolation"
+  "example_multi_tenant_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_tenant_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dfs.cc" "src/CMakeFiles/splitio.dir/apps/dfs.cc.o" "gcc" "src/CMakeFiles/splitio.dir/apps/dfs.cc.o.d"
+  "/root/repo/src/apps/pgsim.cc" "src/CMakeFiles/splitio.dir/apps/pgsim.cc.o" "gcc" "src/CMakeFiles/splitio.dir/apps/pgsim.cc.o.d"
+  "/root/repo/src/apps/vm_guest.cc" "src/CMakeFiles/splitio.dir/apps/vm_guest.cc.o" "gcc" "src/CMakeFiles/splitio.dir/apps/vm_guest.cc.o.d"
+  "/root/repo/src/apps/waldb.cc" "src/CMakeFiles/splitio.dir/apps/waldb.cc.o" "gcc" "src/CMakeFiles/splitio.dir/apps/waldb.cc.o.d"
+  "/root/repo/src/block/block_deadline.cc" "src/CMakeFiles/splitio.dir/block/block_deadline.cc.o" "gcc" "src/CMakeFiles/splitio.dir/block/block_deadline.cc.o.d"
+  "/root/repo/src/block/block_layer.cc" "src/CMakeFiles/splitio.dir/block/block_layer.cc.o" "gcc" "src/CMakeFiles/splitio.dir/block/block_layer.cc.o.d"
+  "/root/repo/src/block/cfq.cc" "src/CMakeFiles/splitio.dir/block/cfq.cc.o" "gcc" "src/CMakeFiles/splitio.dir/block/cfq.cc.o.d"
+  "/root/repo/src/cache/page_cache.cc" "src/CMakeFiles/splitio.dir/cache/page_cache.cc.o" "gcc" "src/CMakeFiles/splitio.dir/cache/page_cache.cc.o.d"
+  "/root/repo/src/core/causes.cc" "src/CMakeFiles/splitio.dir/core/causes.cc.o" "gcc" "src/CMakeFiles/splitio.dir/core/causes.cc.o.d"
+  "/root/repo/src/core/storage_stack.cc" "src/CMakeFiles/splitio.dir/core/storage_stack.cc.o" "gcc" "src/CMakeFiles/splitio.dir/core/storage_stack.cc.o.d"
+  "/root/repo/src/device/device.cc" "src/CMakeFiles/splitio.dir/device/device.cc.o" "gcc" "src/CMakeFiles/splitio.dir/device/device.cc.o.d"
+  "/root/repo/src/device/trace.cc" "src/CMakeFiles/splitio.dir/device/trace.cc.o" "gcc" "src/CMakeFiles/splitio.dir/device/trace.cc.o.d"
+  "/root/repo/src/fs/cowfs.cc" "src/CMakeFiles/splitio.dir/fs/cowfs.cc.o" "gcc" "src/CMakeFiles/splitio.dir/fs/cowfs.cc.o.d"
+  "/root/repo/src/fs/ext4.cc" "src/CMakeFiles/splitio.dir/fs/ext4.cc.o" "gcc" "src/CMakeFiles/splitio.dir/fs/ext4.cc.o.d"
+  "/root/repo/src/fs/fs_base.cc" "src/CMakeFiles/splitio.dir/fs/fs_base.cc.o" "gcc" "src/CMakeFiles/splitio.dir/fs/fs_base.cc.o.d"
+  "/root/repo/src/fs/journal.cc" "src/CMakeFiles/splitio.dir/fs/journal.cc.o" "gcc" "src/CMakeFiles/splitio.dir/fs/journal.cc.o.d"
+  "/root/repo/src/fs/xfs.cc" "src/CMakeFiles/splitio.dir/fs/xfs.cc.o" "gcc" "src/CMakeFiles/splitio.dir/fs/xfs.cc.o.d"
+  "/root/repo/src/sched/afq.cc" "src/CMakeFiles/splitio.dir/sched/afq.cc.o" "gcc" "src/CMakeFiles/splitio.dir/sched/afq.cc.o.d"
+  "/root/repo/src/sched/scs_token.cc" "src/CMakeFiles/splitio.dir/sched/scs_token.cc.o" "gcc" "src/CMakeFiles/splitio.dir/sched/scs_token.cc.o.d"
+  "/root/repo/src/sched/split_deadline.cc" "src/CMakeFiles/splitio.dir/sched/split_deadline.cc.o" "gcc" "src/CMakeFiles/splitio.dir/sched/split_deadline.cc.o.d"
+  "/root/repo/src/sched/split_token.cc" "src/CMakeFiles/splitio.dir/sched/split_token.cc.o" "gcc" "src/CMakeFiles/splitio.dir/sched/split_token.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/splitio.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/splitio.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/sync.cc" "src/CMakeFiles/splitio.dir/sim/sync.cc.o" "gcc" "src/CMakeFiles/splitio.dir/sim/sync.cc.o.d"
+  "/root/repo/src/syscall/kernel.cc" "src/CMakeFiles/splitio.dir/syscall/kernel.cc.o" "gcc" "src/CMakeFiles/splitio.dir/syscall/kernel.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "src/CMakeFiles/splitio.dir/workload/workloads.cc.o" "gcc" "src/CMakeFiles/splitio.dir/workload/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/splitio_tests.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/apps_test.cc.o.d"
+  "/root/repo/tests/block_features_test.cc" "tests/CMakeFiles/splitio_tests.dir/block_features_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/block_features_test.cc.o.d"
+  "/root/repo/tests/block_test.cc" "tests/CMakeFiles/splitio_tests.dir/block_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/block_test.cc.o.d"
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/splitio_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/splitio_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/cowfs_test.cc" "tests/CMakeFiles/splitio_tests.dir/cowfs_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/cowfs_test.cc.o.d"
+  "/root/repo/tests/device_test.cc" "tests/CMakeFiles/splitio_tests.dir/device_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/device_test.cc.o.d"
+  "/root/repo/tests/fs_test.cc" "tests/CMakeFiles/splitio_tests.dir/fs_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/fs_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/splitio_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/splitio_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/sched_detail_test.cc" "tests/CMakeFiles/splitio_tests.dir/sched_detail_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/sched_detail_test.cc.o.d"
+  "/root/repo/tests/sched_test.cc" "tests/CMakeFiles/splitio_tests.dir/sched_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/sched_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/splitio_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/sync_extra_test.cc" "tests/CMakeFiles/splitio_tests.dir/sync_extra_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/sync_extra_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/splitio_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/splitio_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/splitio_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/splitio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
