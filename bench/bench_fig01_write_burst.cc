@@ -90,8 +90,12 @@ int main() {
     }
     return -1;
   };
+  int cfq_recovery = recovery(cfq);
+  int split_recovery = recovery(split);
   std::printf("\nRecovery to 80%% of baseline after burst: CFQ=%ds, "
               "Split-Token=%ds (-1 = never within 110s)\n",
-              recovery(cfq), recovery(split));
+              cfq_recovery, split_recovery);
+  ReportMetric("recovery_cfq_s", cfq_recovery);
+  ReportMetric("recovery_split_token_s", split_recovery);
   return 0;
 }

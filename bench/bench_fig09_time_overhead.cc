@@ -68,6 +68,11 @@ int main() {
         100.0 * (1.0 - splitnoop.sim_mbps / blocknoop.sim_mbps);
     std::printf("%8d %18.1f %18.1f %11.2f%%\n", threads, blocknoop.sim_mbps,
                 splitnoop.sim_mbps, overhead);
+    if (threads == 100) {
+      ReportMetric("overhead_pct_100_threads", overhead);
+      ReportMetric("wall_us_per_event_split_100",
+                   splitnoop.wall_us_per_event);
+    }
   }
   std::printf("\n(Paper: no noticeable overhead up to 100 threads.)\n");
   return 0;

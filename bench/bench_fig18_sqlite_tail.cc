@@ -71,6 +71,10 @@ int main() {
     std::printf("%10llu | %10.1f %10.1f %10.1f | %10.1f %10.1f %10.1f\n",
                 static_cast<unsigned long long>(threshold), blk.p99_ms,
                 blk.p999_ms, blk.max_ms, spl.p99_ms, spl.p999_ms, spl.max_ms);
+    if (threshold == 1000) {
+      ReportMetric("p99_ms_block_deadline_1k", blk.p99_ms);
+      ReportMetric("p99_ms_split_deadline_1k", spl.p99_ms);
+    }
   }
   std::printf("\n(Paper: Block-Deadline's extreme tail rises with the "
               "threshold — rarer but costlier checkpoints — while its 99th "

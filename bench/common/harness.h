@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common/report.h"
 #include "src/block/block_deadline.h"
 #include "src/block/cfq.h"
 #include "src/block/noop.h"

@@ -1,0 +1,77 @@
+// Machine-readable bench reporting.
+//
+// Every bench binary (via harness.h) registers an atexit hook that prints a
+// single `BENCHJSON {...}` line to stdout when the process exits: total
+// simulator wake-ups, the per-layer counters from src/metrics/counters.h,
+// and any named paper-fidelity metrics the bench chose to expose through
+// `ReportMetric`. The bench runner (tools/bench_runner.cc) parses this line
+// and combines it with wall-clock and RSS into BENCH_results.json.
+//
+// Counters accumulate across every Simulator the binary runs (one per
+// scheduler under comparison), so the line summarizes the whole binary.
+#ifndef BENCH_COMMON_REPORT_H_
+#define BENCH_COMMON_REPORT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/metrics/counters.h"
+
+namespace splitio {
+
+namespace benchreport {
+
+inline std::vector<std::pair<std::string, double>>& Metrics() {
+  static std::vector<std::pair<std::string, double>> metrics;
+  return metrics;
+}
+
+inline void PrintJsonLine() {
+  const Counters& c = counters();
+  auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::printf(
+      "BENCHJSON {\"events_processed\":%llu,"
+      "\"counters\":{\"sim_events\":%llu,\"sim_immediate\":%llu,"
+      "\"cache_lookups\":%llu,\"cache_hits\":%llu,\"pages_dirtied\":%llu,"
+      "\"block_submitted\":%llu,\"block_merged\":%llu,"
+      "\"block_completed\":%llu},\"metrics\":{",
+      u(c.sim_events), u(c.sim_events), u(c.sim_immediate),
+      u(c.cache_lookups), u(c.cache_hits), u(c.pages_dirtied),
+      u(c.block_submitted), u(c.block_merged), u(c.block_completed));
+  const auto& metrics = Metrics();
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::printf("%s\"%s\":%.17g", i > 0 ? "," : "", metrics[i].first.c_str(),
+                metrics[i].second);
+  }
+  std::printf("}}\n");
+  std::fflush(stdout);
+}
+
+struct AtExitRegistrar {
+  AtExitRegistrar() {
+    // Force construction of the metrics vector before registering the hook:
+    // atexit handlers and static destructors run in reverse registration
+    // order, so the vector must be constructed first to still be alive when
+    // PrintJsonLine runs.
+    Metrics();
+    std::atexit(&PrintJsonLine);
+  }
+};
+
+// One instance per binary (inline variable: shared across TUs).
+inline AtExitRegistrar g_registrar;
+
+}  // namespace benchreport
+
+// Exposes a named figure/table-level result (e.g. recovery seconds, p99
+// latency) in the bench's BENCHJSON line, alongside the automatic counters.
+inline void ReportMetric(const std::string& name, double value) {
+  benchreport::Metrics().emplace_back(name, value);
+}
+
+}  // namespace splitio
+
+#endif  // BENCH_COMMON_REPORT_H_

@@ -42,21 +42,13 @@ void BlockDeadlineElevator::Add(BlockRequestPtr req) {
   }
   req->deadline = req->enqueue_time + expiry;
   sorted_[dir].emplace(req->sector, req);
-  fifo_[dir].push_back(req);
+  fifo_[dir].push_back(std::move(req));
   ++count_[dir];
   ++pending_;
 }
 
-BlockRequestPtr BlockDeadlineElevator::Take(Dir dir, BlockRequestPtr req) {
+BlockRequestPtr BlockDeadlineElevator::Finish(Dir dir, BlockRequestPtr req) {
   req->elv_dispatched = true;
-  // Remove from the sorted index (the FIFO is cleaned lazily).
-  auto [lo, hi] = sorted_[dir].equal_range(req->sector);
-  for (auto it = lo; it != hi; ++it) {
-    if (it->second == req) {
-      sorted_[dir].erase(it);
-      break;
-    }
-  }
   --count_[dir];
   --pending_;
   next_sector_ = req->sector + req->bytes / kSectorSize;
@@ -65,10 +57,18 @@ BlockRequestPtr BlockDeadlineElevator::Take(Dir dir, BlockRequestPtr req) {
 
 BlockRequestPtr BlockDeadlineElevator::PopFifo(Dir dir) {
   while (!fifo_[dir].empty()) {
-    BlockRequestPtr req = fifo_[dir].front();
+    BlockRequestPtr req = std::move(fifo_[dir].front());
     fifo_[dir].pop_front();
     if (!req->elv_dispatched) {
-      return Take(dir, req);
+      // Remove from the sorted index (which still holds its copy).
+      auto [lo, hi] = sorted_[dir].equal_range(req->sector);
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second == req) {
+          sorted_[dir].erase(it);
+          break;
+        }
+      }
+      return Finish(dir, std::move(req));
     }
   }
   return nullptr;
@@ -82,7 +82,11 @@ BlockRequestPtr BlockDeadlineElevator::PopSorted(Dir dir, uint64_t from) {
   if (it == sorted_[dir].end()) {
     it = sorted_[dir].begin();  // wrap (one-way elevator)
   }
-  return Take(dir, it->second);
+  // Move straight out of the sorted index (the FIFO is cleaned lazily) —
+  // no refcount round-trip and no second lookup.
+  BlockRequestPtr req = std::move(it->second);
+  sorted_[dir].erase(it);
+  return Finish(dir, std::move(req));
 }
 
 bool BlockDeadlineElevator::FifoExpired(Dir dir) const {

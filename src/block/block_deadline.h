@@ -57,7 +57,8 @@ class BlockDeadlineElevator : public Elevator {
   // Removes and returns the first sorted request at or after `from`,
   // wrapping around (one-way elevator / C-SCAN).
   BlockRequestPtr PopSorted(Dir dir, uint64_t from);
-  BlockRequestPtr Take(Dir dir, BlockRequestPtr req);
+  // Marks `req` dispatched and updates the counters/elevator position.
+  BlockRequestPtr Finish(Dir dir, BlockRequestPtr req);
   bool FifoExpired(Dir dir) const;
   bool HasPending(Dir dir) const { return count_[dir] > 0; }
 

@@ -1,5 +1,7 @@
 #include "src/block/block_layer.h"
 
+#include "src/metrics/counters.h"
+
 namespace splitio {
 
 void BlockLayer::Start() { Simulator::current().Spawn(DispatchLoop()); }
@@ -13,8 +15,10 @@ void BlockLayer::Submit(BlockRequestPtr req) {
     }
   }
   ++total_submitted_;
+  ++counters().block_submitted;
   if (elevator_->TryMerge(req)) {
     ++total_merged_;
+    ++counters().block_merged;
     return;  // rides on the container request's completion
   }
   elevator_->Add(std::move(req));
@@ -48,6 +52,7 @@ Task<void> BlockLayer::DispatchLoop() {
       req->service_time = co_await device_->Execute(dreq);
     }
     ++total_completed_;
+    ++counters().block_completed;
     elevator_->OnComplete(*req);
     for (const CompletionHook& hook : completion_hooks_) {
       hook(*req);

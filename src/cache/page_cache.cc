@@ -3,15 +3,22 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/metrics/counters.h"
+
 namespace splitio {
 
 Page* PageCache::Find(int64_t ino, uint64_t index) {
+  ++counters().cache_lookups;
   auto it = pages_.find(Key(ino, index));
-  return it == pages_.end() ? nullptr : &it->second;
+  if (it == pages_.end()) {
+    return nullptr;
+  }
+  ++counters().cache_hits;
+  return &it->second;
 }
 
 Page& PageCache::InsertClean(int64_t ino, uint64_t index) {
-  uint64_t key = Key(ino, index);
+  PageKey key = Key(ino, index);
   auto [it, inserted] = pages_.try_emplace(key);
   Page& page = it->second;
   if (inserted) {
@@ -26,7 +33,7 @@ Page& PageCache::InsertClean(int64_t ino, uint64_t index) {
 void PageCache::EvictCleanIfNeeded() {
   while (pages_.size() > config_.clean_capacity_pages + dirty_pages_ &&
          !clean_fifo_.empty()) {
-    uint64_t key = clean_fifo_.front();
+    PageKey key = clean_fifo_.front();
     clean_fifo_.pop_front();
     auto it = pages_.find(key);
     if (it == pages_.end() || it->second.dirty || it->second.writeback) {
@@ -37,7 +44,8 @@ void PageCache::EvictCleanIfNeeded() {
 }
 
 Page& PageCache::MarkDirty(Process& dirtier, int64_t ino, uint64_t index) {
-  uint64_t key = Key(ino, index);
+  ++counters().pages_dirtied;
+  PageKey key = Key(ino, index);
   auto [it, inserted] = pages_.try_emplace(key);
   Page& page = it->second;
   if (inserted) {
@@ -45,8 +53,19 @@ Page& PageCache::MarkDirty(Process& dirtier, int64_t ino, uint64_t index) {
     page.index = index;
   }
   bool was_dirty = page.dirty;
-  CauseSet prev = page.causes;
-  page.causes.Merge(dirtier.Causes());
+  // Re-dirtying a page with no new causes is the hot case (every write
+  // syscall touches its pages here): the merge is a no-op, so the live set
+  // doubles as `prev` and no copy is made. Copy only when the causes
+  // actually change and a hook will want the pre-merge value.
+  CauseSet prev_copy;
+  const CauseSet* prev = &page.causes;
+  if (!page.causes.ContainsAll(dirtier.Causes())) {
+    if (hooks_ != nullptr) {
+      prev_copy = page.causes;
+      prev = &prev_copy;
+    }
+    page.causes.Merge(dirtier.Causes());
+  }
   Nanos now = Simulator::current().Now();
   if (!was_dirty) {
     page.dirty = true;
@@ -59,7 +78,7 @@ Page& PageCache::MarkDirty(Process& dirtier, int64_t ino, uint64_t index) {
     }
   }
   if (hooks_ != nullptr) {
-    hooks_->OnBufferDirty(dirtier, page, was_dirty, prev);
+    hooks_->OnBufferDirty(dirtier, page, was_dirty, *prev);
   }
   return page;
 }

@@ -28,6 +28,34 @@
 
 namespace splitio {
 
+// Collision-free page identity. The previous packed-uint64 key
+// ((ino << 36) | index, no masking) silently aliased pages once an index
+// reached 2^36 or an ino reached 2^28; keeping the two words separate makes
+// aliasing impossible for the full int64/uint64 domain.
+struct PageKey {
+  int64_t ino = 0;
+  uint64_t index = 0;
+  bool operator==(const PageKey&) const = default;
+};
+
+struct PageKeyHash {
+  static uint64_t Mix(uint64_t x) {
+    // splitmix64 finalizer: cheap and well-distributed.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+  size_t operator()(const PageKey& k) const {
+    // Mix the inode, then ADD the raw index: a file's pages hash to
+    // consecutive values, so sequential scans touch consecutive buckets
+    // (the bucket count is prime) and stay cache-resident — fully hashing
+    // both words measured ~2x slower on writeback-heavy benches. Hash
+    // collisions between files are harmless: equality compares both words.
+    return static_cast<size_t>(Mix(static_cast<uint64_t>(k.ino)) + k.index);
+  }
+};
+
 struct Page {
   int64_t ino = 0;
   uint64_t index = 0;  // 4 KB page index within the file
@@ -77,7 +105,11 @@ class PageCache {
   };
 
   PageCache() : PageCache(Config{}) {}
-  explicit PageCache(const Config& config) : config_(config) {}
+  explicit PageCache(const Config& config) : config_(config) {
+    // Pre-size the page table: every cache touch hashes into it, and
+    // rehashing mid-bench shows up directly in events-per-second.
+    pages_.reserve(kInitialPageTableCapacity);
+  }
 
   void set_hooks(PageCacheHooks* hooks) { hooks_ = hooks; }
   const Config& config() const { return config_; }
@@ -148,8 +180,10 @@ class PageCache {
   uint64_t pages_resident() const { return pages_.size(); }
 
  private:
-  static uint64_t Key(int64_t ino, uint64_t index) {
-    return (static_cast<uint64_t>(ino) << 36) | index;
+  static constexpr size_t kInitialPageTableCapacity = 1 << 15;
+
+  static PageKey Key(int64_t ino, uint64_t index) {
+    return PageKey{ino, index};
   }
 
   Task<void> WritebackLoop(FlushFn flush);
@@ -158,13 +192,13 @@ class PageCache {
 
   Config config_;
   PageCacheHooks* hooks_ = nullptr;
-  std::unordered_map<uint64_t, Page> pages_;
+  std::unordered_map<PageKey, Page, PageKeyHash> pages_;
   // Per-inode dirty index -> dirtied_at (sorted for merging).
   std::unordered_map<int64_t, std::map<uint64_t, Nanos>> dirty_index_;
   std::unordered_map<int64_t, Nanos> inode_first_dirty_;
   uint64_t dirty_pages_ = 0;
   uint64_t writeback_pages_ = 0;
-  std::deque<uint64_t> clean_fifo_;
+  std::deque<PageKey> clean_fifo_;
   Event writeback_kick_;
   Event dirty_drained_;
 };

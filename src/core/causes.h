@@ -102,6 +102,13 @@ class CauseSet {
     return std::binary_search(pids_.begin(), pids_.end(), pid);
   }
 
+  // True if every pid in `other` is already in this set (Merge would be a
+  // no-op). Both sets are sorted, so this is a linear scan.
+  bool ContainsAll(const CauseSet& other) const {
+    return std::includes(pids_.begin(), pids_.end(), other.pids_.begin(),
+                         other.pids_.end());
+  }
+
   bool empty() const { return pids_.empty(); }
   size_t size() const { return pids_.size(); }
   const std::vector<int32_t>& pids() const { return pids_; }

@@ -45,13 +45,22 @@ std::map<int32_t, IoTracer::PerCause> IoTracer::SummarizeByCause() const {
     if (e.causes.empty()) {
       continue;
     }
-    Nanos share = e.service_time / static_cast<Nanos>(e.causes.size());
-    uint64_t byte_share = e.bytes / e.causes.size();
+    // Split evenly, handing the first `remainder` causes one extra unit so
+    // per-cause totals sum exactly to the per-request totals (integer
+    // division alone drops up to n-1 ns/bytes per request).
+    auto n = static_cast<uint64_t>(e.causes.size());
+    Nanos time_share = e.service_time / static_cast<Nanos>(n);
+    auto time_rem = static_cast<uint64_t>(
+        e.service_time % static_cast<Nanos>(n));
+    uint64_t byte_share = e.bytes / n;
+    uint64_t byte_rem = e.bytes % n;
+    uint64_t i = 0;
     for (int32_t pid : e.causes) {
       PerCause& pc = summary[pid];
       ++pc.requests;
-      pc.bytes += byte_share;
-      pc.device_time += share;
+      pc.bytes += byte_share + (i < byte_rem ? 1 : 0);
+      pc.device_time += time_share + (i < time_rem ? 1 : 0);
+      ++i;
     }
   }
   return summary;

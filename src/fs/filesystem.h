@@ -28,9 +28,12 @@ struct Inode {
   bool deleted = false;
   uint64_t size = 0;
   // Delayed allocation: page index -> disk sector, assigned at writeback.
-  std::map<uint64_t, uint64_t> extents;
+  // Point lookups only (no ordered scans), so a hash map: red-black trees
+  // here dominated bench profiles — a preallocated 8 GB file is 2M nodes,
+  // and every data-path page touch paid an O(log n) pointer chase.
+  std::unordered_map<uint64_t, uint64_t> extents;
   // Allocation chunks already reserved for this file: chunk -> base sector.
-  std::map<uint64_t, uint64_t> chunks;
+  std::unordered_map<uint64_t, uint64_t> chunks;
 };
 
 // Assigns on-disk locations chunk-at-a-time: a file written back alone stays

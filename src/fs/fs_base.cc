@@ -225,7 +225,9 @@ Task<uint64_t> FsBase::FlushInodeData(Process& submitter, int64_t ino,
     // prioritize accordingly.
     req->is_sync = !submitter.is_proxy();
     req->submitter = &submitter;
-    req->causes = run_causes;
+    // The run's cause set is rebuilt (or cleared) after every submit, so
+    // hand the allocation to the request instead of copying it.
+    req->causes = std::move(run_causes);
     req->prelim_charged = run_prelim;
     BeginInflight(ino);
     block_->Submit(req);
@@ -333,6 +335,7 @@ int64_t FsBase::CreatePreallocated(const std::string& path, uint64_t bytes) {
   Inode& inode = inodes_[ino];
   inode.size = bytes;
   uint64_t pages = (bytes + kPageSize - 1) / kPageSize;
+  inode.extents.reserve(pages);
   for (uint64_t idx = 0; idx < pages; ++idx) {
     inode.extents.emplace(idx, allocator_.AllocatePage(inode, idx));
   }

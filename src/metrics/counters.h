@@ -1,0 +1,38 @@
+// Cheap process-wide event counters for the simulator hot paths.
+//
+// Every layer increments a plain uint64 field — no locks, no maps, no
+// formatting on the hot path. Counters accumulate across all Simulator
+// instances in the process, so a bench binary that runs one stack per
+// scheduler reports totals for the whole run. The bench harness prints
+// them as a machine-readable BENCHJSON line at exit; the bench runner
+// folds them into BENCH_results.json.
+#ifndef SRC_METRICS_COUNTERS_H_
+#define SRC_METRICS_COUNTERS_H_
+
+#include <cstdint>
+
+namespace splitio {
+
+struct Counters {
+  // Simulator: wake-ups resumed, and how many took the O(1) same-time
+  // FIFO fast path instead of the binary heap.
+  uint64_t sim_events = 0;
+  uint64_t sim_immediate = 0;
+  // Page cache.
+  uint64_t cache_lookups = 0;
+  uint64_t cache_hits = 0;
+  uint64_t pages_dirtied = 0;
+  // Block layer.
+  uint64_t block_submitted = 0;
+  uint64_t block_merged = 0;
+  uint64_t block_completed = 0;
+};
+
+// Process-global counters (single-threaded simulation; no synchronization).
+inline Counters g_counters;
+
+inline Counters& counters() { return g_counters; }
+
+}  // namespace splitio
+
+#endif  // SRC_METRICS_COUNTERS_H_

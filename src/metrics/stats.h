@@ -23,15 +23,24 @@ class LatencyRecorder {
 
   size_t count() const { return samples_.size(); }
 
-  // p in [0, 100]. Returns 0 for an empty recorder.
+  // p in [0, 100]. Returns 0 for an empty recorder. Linearly interpolates
+  // between adjacent order statistics when the rank is fractional
+  // (NIST/Excel "inclusive" method) — truncating the rank biases tail
+  // percentiles low on small sample counts.
   Nanos Percentile(double p) {
     if (samples_.empty()) {
       return 0;
     }
     EnsureSorted();
     double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-    auto idx = static_cast<size_t>(rank);
-    return samples_[std::min(idx, samples_.size() - 1)];
+    auto lo = static_cast<size_t>(rank);
+    lo = std::min(lo, samples_.size() - 1);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    double interpolated =
+        static_cast<double>(samples_[lo]) +
+        frac * static_cast<double>(samples_[hi] - samples_[lo]);
+    return static_cast<Nanos>(std::llround(interpolated));
   }
 
   Nanos Max() {

@@ -105,8 +105,8 @@ void SplitDeadlineScheduler::Add(BlockRequestPtr req) {
       ddl = req->submitter->read_deadline();
     }
     req->deadline = req->enqueue_time + ddl;
-    read_fifo_.push_back(req);
     sorted_[0].emplace(req->sector, req);
+    read_fifo_.push_back(std::move(req));
     ++count_[0];
   } else if (req->is_journal || req->is_sync) {
     // Someone's fsync is blocked on this write: it must not queue behind
@@ -123,18 +123,10 @@ void SplitDeadlineScheduler::Add(BlockRequestPtr req) {
   ++pending_;
 }
 
-BlockRequestPtr SplitDeadlineScheduler::TakeReq(bool write,
-                                                BlockRequestPtr req) {
+BlockRequestPtr SplitDeadlineScheduler::Finish(bool write,
+                                               BlockRequestPtr req) {
   req->elv_dispatched = true;
-  int dir = write ? 1 : 0;
-  auto [lo, hi] = sorted_[dir].equal_range(req->sector);
-  for (auto it = lo; it != hi; ++it) {
-    if (it->second == req) {
-      sorted_[dir].erase(it);
-      break;
-    }
-  }
-  --count_[dir];
+  --count_[write ? 1 : 0];
   --pending_;
   next_sector_ = req->sector + req->bytes / kSectorSize;
   return req;
@@ -149,15 +141,27 @@ BlockRequestPtr SplitDeadlineScheduler::PopSorted(bool write, uint64_t from) {
   if (it == sorted_[dir].end()) {
     it = sorted_[dir].begin();
   }
-  return TakeReq(write, it->second);
+  // Move straight out of the sorted index (the read FIFO is cleaned
+  // lazily) — no refcount round-trip and no second lookup.
+  BlockRequestPtr req = std::move(it->second);
+  sorted_[dir].erase(it);
+  return Finish(write, std::move(req));
 }
 
 BlockRequestPtr SplitDeadlineScheduler::PopReadFifo() {
   while (!read_fifo_.empty()) {
-    BlockRequestPtr req = read_fifo_.front();
+    BlockRequestPtr req = std::move(read_fifo_.front());
     read_fifo_.pop_front();
     if (!req->elv_dispatched) {
-      return TakeReq(false, req);
+      // Remove from the sorted index (which still holds its copy).
+      auto [lo, hi] = sorted_[0].equal_range(req->sector);
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second == req) {
+          sorted_[0].erase(it);
+          break;
+        }
+      }
+      return Finish(false, std::move(req));
     }
   }
   return nullptr;

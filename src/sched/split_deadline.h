@@ -76,7 +76,8 @@ class SplitDeadlineScheduler : public SplitScheduler {
   BlockRequestPtr PopSorted(bool write, uint64_t from);
   BlockRequestPtr PopReadFifo();
   bool ReadFifoExpired() const;
-  BlockRequestPtr TakeReq(bool write, BlockRequestPtr req);
+  // Marks `req` dispatched and updates the counters/elevator position.
+  BlockRequestPtr Finish(bool write, BlockRequestPtr req);
   Task<void> OwnWritebackLoop();
   bool DeadlinePressure() const;
 

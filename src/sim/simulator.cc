@@ -2,7 +2,15 @@
 
 #include <cassert>
 
+#include "src/metrics/counters.h"
+
 namespace splitio {
+
+namespace {
+// Pre-sized event-queue storage: avoids repeated reallocation of the heap's
+// backing vector while a bench ramps up its thread population.
+constexpr size_t kInitialQueueCapacity = 4096;
+}  // namespace
 
 namespace {
 
@@ -45,6 +53,11 @@ void JoinState::MarkDone() {
 Simulator::Simulator() {
   assert(g_current == nullptr && "nested simulators are not supported");
   g_current = this;
+  std::vector<QueueItem> storage;
+  storage.reserve(kInitialQueueCapacity);
+  queue_ = std::priority_queue<QueueItem, std::vector<QueueItem>,
+                               std::greater<>>(std::greater<>(),
+                                               std::move(storage));
 }
 
 Simulator::~Simulator() { g_current = nullptr; }
@@ -55,22 +68,45 @@ Simulator& Simulator::current() {
 }
 
 void Simulator::Schedule(Nanos t, std::coroutine_handle<> h) {
-  if (t < now_) {
-    t = now_;
+  if (t <= now_) {
+    // Same-time wake-up: seq order within the FIFO matches global (time,
+    // seq) order because now_ never decreases, so no heap is needed.
+    ++counters().sim_immediate;
+    ready_.push_back(QueueItem{now_, next_seq_++, h});
+    return;
   }
   queue_.push(QueueItem{t, next_seq_++, h});
 }
 
 void Simulator::Run(Nanos until) {
-  while (!queue_.empty()) {
-    QueueItem item = queue_.top();
-    if (item.time > until) {
+  for (;;) {
+    bool from_ready;
+    if (ready_.empty()) {
+      if (queue_.empty()) {
+        return;
+      }
+      from_ready = false;
+    } else if (queue_.empty()) {
+      from_ready = true;
+    } else {
+      const QueueItem& r = ready_.front();
+      const QueueItem& q = queue_.top();
+      from_ready = r.time < q.time || (r.time == q.time && r.seq < q.seq);
+    }
+    const QueueItem& top = from_ready ? ready_.front() : queue_.top();
+    if (top.time > until) {
       now_ = until;
       return;
     }
-    queue_.pop();
+    QueueItem item = top;
+    if (from_ready) {
+      ready_.pop_front();
+    } else {
+      queue_.pop();
+    }
     now_ = item.time;
     ++events_processed_;
+    ++counters().sim_events;
     item.handle.resume();
   }
 }

@@ -11,6 +11,7 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <queue>
 #include <vector>
@@ -79,6 +80,12 @@ class Simulator {
   Nanos now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
+  // Wake-ups at the current time, in seq order. The overwhelmingly common
+  // Schedule(Now(), h) — notifications, latch completions, spawns — is an
+  // O(1) push here instead of an O(log n) heap insertion. Run() interleaves
+  // this FIFO with the heap by (time, seq), so execution order is identical
+  // to a single global priority queue.
+  std::deque<QueueItem> ready_;
   std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>
       queue_;
 };

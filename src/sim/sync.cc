@@ -2,12 +2,13 @@
 
 namespace splitio {
 
-Task<void> Event::TimeoutTimer(std::shared_ptr<WaitNode> node, Nanos timeout) {
+Task<void> Event::TimeoutTimer(std::shared_ptr<TimeoutState> state,
+                               Nanos timeout) {
   co_await Delay(timeout);
-  if (!node->notified && !node->cancelled) {
-    node->cancelled = true;
+  if (!state->notified && !state->cancelled) {
+    state->cancelled = true;
     Simulator& sim = Simulator::current();
-    sim.Schedule(sim.Now(), node->handle);
+    sim.Schedule(sim.Now(), state->handle);
   }
 }
 
@@ -16,20 +17,20 @@ Task<bool> Event::WaitWithTimeout(Nanos timeout) {
   // only raw pointers. GCC 12 runs the destructor of a co_await operand
   // temporary twice, so awaiter objects must be trivially destructible
   // (see the note in task.h).
-  auto node = std::make_shared<WaitNode>();
+  auto state = std::make_shared<TimeoutState>();
   struct NodeAwaiter {
     Event* event;
-    const std::shared_ptr<WaitNode>* node;
+    const std::shared_ptr<TimeoutState>* state;
     Nanos timeout;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      (*node)->handle = h;
-      event->waiters_.push_back(*node);
-      Simulator::current().Spawn(TimeoutTimer(*node, timeout));
+      (*state)->handle = h;
+      event->waiters_.push_back(WaitNode{h, *state});
+      Simulator::current().Spawn(TimeoutTimer(*state, timeout));
     }
-    bool await_resume() const noexcept { return (*node)->notified; }
+    bool await_resume() const noexcept { return (*state)->notified; }
   };
-  co_return co_await NodeAwaiter{this, &node, timeout};
+  co_return co_await NodeAwaiter{this, &state, timeout};
 }
 
 }  // namespace splitio

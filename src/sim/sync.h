@@ -26,7 +26,8 @@ class Event {
     explicit Awaiter(Event* event) : event_(event) {}
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      event_->waiters_.push_back(std::make_shared<WaitNode>(WaitNode{h}));
+      // Plain waits carry no shared state — no allocation on this path.
+      event_->waiters_.push_back(WaitNode{h, nullptr});
     }
     void await_resume() const noexcept {}
 
@@ -43,32 +44,36 @@ class Event {
   void NotifyOne() {
     Simulator& sim = Simulator::current();
     while (!waiters_.empty()) {
-      std::shared_ptr<WaitNode> node = waiters_.front();
+      WaitNode node = std::move(waiters_.front());
       waiters_.pop_front();
-      if (node->cancelled) {
-        continue;
+      if (node.state != nullptr) {
+        if (node.state->cancelled) {
+          continue;
+        }
+        node.state->notified = true;
       }
-      node->notified = true;
-      sim.Schedule(sim.Now(), node->handle);
+      sim.Schedule(sim.Now(), node.handle);
       return;
     }
   }
 
   void NotifyAll() {
     Simulator& sim = Simulator::current();
-    for (const std::shared_ptr<WaitNode>& node : waiters_) {
-      if (node->cancelled) {
-        continue;
+    for (const WaitNode& node : waiters_) {
+      if (node.state != nullptr) {
+        if (node.state->cancelled) {
+          continue;
+        }
+        node.state->notified = true;
       }
-      node->notified = true;
-      sim.Schedule(sim.Now(), node->handle);
+      sim.Schedule(sim.Now(), node.handle);
     }
     waiters_.clear();
   }
 
   bool has_waiters() const {
-    for (const std::shared_ptr<WaitNode>& node : waiters_) {
-      if (!node->cancelled) {
+    for (const WaitNode& node : waiters_) {
+      if (node.state == nullptr || !node.state->cancelled) {
         return true;
       }
     }
@@ -76,16 +81,23 @@ class Event {
   }
 
  private:
-  struct WaitNode {
+  // Shared only by timed waits: lets the timeout timer and the notifier
+  // observe each other after the node leaves the deque.
+  struct TimeoutState {
     std::coroutine_handle<> handle;
     bool notified = false;
     bool cancelled = false;
   };
 
-  static Task<void> TimeoutTimer(std::shared_ptr<WaitNode> node,
+  struct WaitNode {
+    std::coroutine_handle<> handle;
+    std::shared_ptr<TimeoutState> state;  // null for plain Wait()
+  };
+
+  static Task<void> TimeoutTimer(std::shared_ptr<TimeoutState> state,
                                  Nanos timeout);
 
-  std::deque<std::shared_ptr<WaitNode>> waiters_;
+  std::deque<WaitNode> waiters_;
 };
 
 // A one-shot completion latch: once Set(), all current and future waiters

@@ -29,6 +29,43 @@ class RecordingHooks : public PageCacheHooks {
   std::vector<uint64_t> freed;
 };
 
+// Regression: the key was packed as (ino << 36) | index with no masking, so
+// an index >= 2^36 or an ino >= 2^28 silently aliased another inode's page.
+TEST(PageCache, LargeIndexDoesNotAliasOtherPages) {
+  Simulator sim;
+  PageCache cache;
+  // Under the packed key, (ino=1, index=2^36) collided with (ino=1, index=0).
+  cache.InsertClean(1, 1ULL << 36);
+  EXPECT_EQ(cache.Find(1, 0), nullptr);
+  Page* page = cache.Find(1, 1ULL << 36);
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(page->ino, 1);
+  EXPECT_EQ(page->index, 1ULL << 36);
+}
+
+TEST(PageCache, LargeInoDoesNotAliasOtherInodes) {
+  Simulator sim;
+  PageCache cache;
+  // Under the packed key, ino=2^28 shifted clean out of the 64-bit word and
+  // collided with (ino=0, index=0).
+  int64_t huge_ino = 1LL << 28;
+  cache.InsertClean(huge_ino, 0);
+  EXPECT_EQ(cache.Find(0, 0), nullptr);
+  Page* page = cache.Find(huge_ino, 0);
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(page->ino, huge_ino);
+}
+
+TEST(PageCache, LargeIndexDirtyPagesAreDistinct) {
+  Simulator sim;
+  PageCache cache;
+  Process p(1, "a");
+  cache.MarkDirty(p, 7, 1ULL << 36);
+  cache.MarkDirty(p, 7, 0);  // aliased pre-fix: counted as an overwrite
+  EXPECT_EQ(cache.dirty_pages(), 2u);
+  EXPECT_EQ(cache.dirty_pages_of(7), 2u);
+}
+
 TEST(PageCache, MarkDirtyTagsCauses) {
   Simulator sim;
   PageCache cache;

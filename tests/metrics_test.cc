@@ -13,10 +13,35 @@ TEST(LatencyRecorder, PercentilesOnKnownDistribution) {
   }
   EXPECT_EQ(rec.count(), 100u);
   EXPECT_EQ(rec.Percentile(0), Msec(1));
-  EXPECT_EQ(rec.Percentile(50), Msec(50));
-  EXPECT_EQ(rec.Percentile(99), Msec(99));
+  // Rank 0.5 * 99 = 49.5: halfway between the 50th and 51st samples.
+  EXPECT_EQ(rec.Percentile(50), Msec(50) + Msec(1) / 2);
+  // Rank 0.99 * 99 = 98.01: just above the 99th sample.
+  EXPECT_NEAR(static_cast<double>(rec.Percentile(99)),
+              static_cast<double>(Msec(99)) + 0.01 * Msec(1), 2.0);
   EXPECT_EQ(rec.Percentile(100), Msec(100));
   EXPECT_EQ(rec.Max(), Msec(100));
+}
+
+// Regression: the fractional rank used to be truncated, biasing tail
+// percentiles low on small sample counts (p95 of {0, 100ms} returned 0).
+TEST(LatencyRecorder, PercentileInterpolatesBetweenRanks) {
+  LatencyRecorder rec;
+  rec.Add(Msec(100));
+  rec.Add(Msec(200));
+  EXPECT_EQ(rec.Percentile(0), Msec(100));
+  EXPECT_EQ(rec.Percentile(50), Msec(150));
+  EXPECT_EQ(rec.Percentile(75), Msec(175));
+  EXPECT_EQ(rec.Percentile(100), Msec(200));
+}
+
+TEST(LatencyRecorder, TailPercentilesNotBiasedLowOnSmallCounts) {
+  LatencyRecorder rec;
+  rec.Add(0);
+  rec.Add(Msec(100));
+  EXPECT_NEAR(static_cast<double>(rec.Percentile(95)),
+              static_cast<double>(Msec(95)), 2.0);
+  EXPECT_NEAR(static_cast<double>(rec.Percentile(99)),
+              static_cast<double>(Msec(99)), 2.0);
 }
 
 TEST(LatencyRecorder, EmptyIsZero) {

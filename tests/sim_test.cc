@@ -65,6 +65,39 @@ TEST(Simulator, TasksInterleaveDeterministically) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
 }
 
+TEST(Simulator, ImmediateWakeupsInterleaveWithTimedEvents) {
+  // Same-time wake-ups take the O(1) FIFO fast path; execution order must
+  // still be global (time, seq) order across the FIFO and the heap.
+  Simulator sim;
+  std::vector<int> order;
+  Event ev;
+  auto waiter = [&]() -> Task<void> {
+    co_await ev.Wait();
+    order.push_back(1);  // woken at t=10 via the immediate FIFO
+  };
+  auto timed = [&]() -> Task<void> {
+    co_await Delay(Msec(10));
+    order.push_back(2);
+  };
+  auto notifier = [&]() -> Task<void> {
+    co_await Delay(Msec(10));
+    order.push_back(3);
+    ev.NotifyAll();
+  };
+  auto later = [&]() -> Task<void> {
+    co_await Delay(Msec(12));
+    order.push_back(4);
+  };
+  sim.Spawn(waiter());
+  sim.Spawn(timed());
+  sim.Spawn(notifier());
+  sim.Spawn(later());
+  sim.Run();
+  // t=10: timed (scheduled first), then notifier, then the waiter's
+  // notification (highest seq); t=12: later — after the FIFO drains.
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1, 4}));
+}
+
 TEST(Simulator, NestedTaskComposition) {
   Simulator sim;
   Nanos finish = -1;

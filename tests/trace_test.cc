@@ -100,6 +100,47 @@ TEST(IoTracer, SummarizeByCauseSplitsSharedRequests) {
   EXPECT_EQ(summary[1].requests, 1u);
 }
 
+// Regression: integer division across causes used to drop up to n-1 ns and
+// bytes per request, so per-cause totals no longer summed to the per-request
+// totals.
+TEST(IoTracer, SummarizeByCauseConservesTimeAndBytes) {
+  IoTracer tracer;
+  Simulator sim;
+  HddModel hdd;
+  NoopElevator noop;
+  BlockLayer block(&hdd, &noop);
+  tracer.Attach(&block);
+  block.Start();
+  auto body = [&]() -> Task<void> {
+    auto req = std::make_shared<BlockRequest>();
+    req->sector = 0;
+    req->bytes = kPageSize;  // 4096: not divisible by 3 causes
+    req->is_write = true;
+    req->causes = CauseSet{1, 2, 3};
+    co_await block.SubmitAndWait(req);
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(1));
+  ASSERT_EQ(tracer.entries().size(), 1u);
+  const TraceEntry& e = tracer.entries()[0];
+  auto summary = tracer.SummarizeByCause();
+  ASSERT_EQ(summary.size(), 3u);
+  uint64_t total_bytes = 0;
+  Nanos total_time = 0;
+  uint64_t min_bytes = e.bytes;
+  uint64_t max_bytes = 0;
+  for (const auto& [pid, pc] : summary) {
+    total_bytes += pc.bytes;
+    total_time += pc.device_time;
+    min_bytes = std::min(min_bytes, pc.bytes);
+    max_bytes = std::max(max_bytes, pc.bytes);
+  }
+  EXPECT_EQ(total_bytes, e.bytes);
+  EXPECT_EQ(total_time, e.service_time);
+  // Still an even split: shares differ by at most one unit.
+  EXPECT_LE(max_bytes - min_bytes, 1u);
+}
+
 TEST(IoTracer, SequentialFraction) {
   IoTracer tracer;
   Simulator sim;
