@@ -7,6 +7,7 @@
 // seek pattern after allocation. The metadata workload of Figure 17 makes
 // the gap obvious: creates + fsyncs incur almost all of their cost as
 // journal writes, which carry no preliminary charge at all.
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 
 namespace splitio {
@@ -50,7 +51,8 @@ Outcome Run(bool revise) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Ablation: Split-Token block-level estimate revision "
              "(metadata-heavy B, ext4)");

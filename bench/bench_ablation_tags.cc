@@ -7,6 +7,7 @@
 // tags, cost is split across both causes; with scalar tags (simulated by
 // collapsing each request's causes to its lowest pid), the first writer is
 // billed for everything and the freeloader escapes.
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 
 namespace splitio {
@@ -70,7 +71,8 @@ Outcome Run(bool scalar_tags) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Ablation: set tags vs scalar tags (two writers share a file; "
              "each throttled to 4 MB/s)");

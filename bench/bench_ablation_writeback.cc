@@ -4,6 +4,7 @@
 // small-fsync vs big-buffered-writer contention, with Split-Deadline run
 // (a) owning writeback entirely (kernel daemon off) and (b) leaving pdflush
 // on but throttling write syscalls at a lower dirty cap.
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 
 namespace splitio {
@@ -53,7 +54,8 @@ Outcome Run(bool own_writeback) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Ablation: Split-Deadline owned writeback vs pdflush "
              "(A: 4KB append+fsync ddl 50ms; B: buffered streamer)");

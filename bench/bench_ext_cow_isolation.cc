@@ -6,6 +6,7 @@
 // the COW model, and (b) GC proxy tagging matters: with an untagged
 // collector, a tenant whose churn generates GC work escapes its bill and
 // the victim pays — the COW analogue of Figure 17.
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 #include "src/fs/cowfs.h"
 
@@ -118,7 +119,8 @@ Row Run(bool tag_gc) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Extension: Split-Token on a copy-on-write FS — GC proxy "
              "tagging (B churns, throttled to 8 MB/s)");

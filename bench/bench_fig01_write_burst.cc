@@ -9,6 +9,7 @@
 //
 // Output: time series of A's read throughput (MB/s per second of simulated
 // time) for both schedulers.
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 
 namespace splitio {
@@ -70,7 +71,8 @@ Result Run(SchedKind kind) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 1: one-second idle-priority write burst vs. sequential reader");
   Result cfq = Run(SchedKind::kCfq);

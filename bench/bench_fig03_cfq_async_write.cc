@@ -5,6 +5,7 @@
 // the weighted-fair goal. Right: the fraction of block-level requests CFQ
 // *believes* each priority submitted — everything arrives via the
 // priority-4 writeback proxy, which is why CFQ cannot be fair.
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 
 namespace splitio {
@@ -15,7 +16,8 @@ constexpr Nanos kRunTime = Sec(30);
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 3: CFQ vs. buffered-write priorities (8 async writers)");
 

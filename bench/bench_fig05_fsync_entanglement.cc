@@ -5,6 +5,7 @@
 // Because A's fsync depends on the journal commit, which batches B's
 // metadata and therefore B's ordered data, A's latency tracks B's flush
 // size — block-level deadlines cannot help.
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 
 namespace splitio {
@@ -52,7 +53,8 @@ Row RunOne(uint64_t n_bytes) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle(
       "Figure 5: A's 4KB fsync latency vs. B's flush size (Block-Deadline, "

@@ -6,9 +6,11 @@
 // writes (14 workloads). SCS charges raw syscall bytes, so random patterns
 // are under-charged and buffered writes look free: A's throughput swings
 // widely with B's pattern.
+#include "bench/common/flags.h"
 #include "bench/common/isolation.h"
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 6: SCS-Token isolation (A seq reader vs throttled B)");
   std::printf("%10s %16s %16s %16s %16s\n", "run-size", "A|B-read(MB/s)",

@@ -7,6 +7,7 @@
 // (wall-clock) microseconds per simulated event as a sanity check.
 #include <chrono>
 
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 
 namespace splitio {
@@ -55,7 +56,8 @@ Row Run(SchedKind kind, int threads) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 9: framework time overhead (no-op schedulers, SSD, "
              "4KB sync random reads)");

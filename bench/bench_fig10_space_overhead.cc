@@ -4,6 +4,7 @@
 // as on an HDFS worker with 8 GB of RAM) runs under Split-Token while the
 // tag-memory accountant samples the bytes held by CauseSet tags. Overhead
 // tracks the number of dirty buffers, so it grows with the dirty ratio.
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 #include "src/core/causes.h"
 
@@ -61,7 +62,8 @@ Row Run(double dirty_ratio) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 10: tag memory overhead vs dirty ratio (8 GB RAM, "
              "write-heavy)");

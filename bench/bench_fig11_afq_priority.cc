@@ -7,6 +7,7 @@
 //     blinds CFQ; AFQ schedules fsyncs at the syscall level.
 // (d) 8 threads overwriting a 4 MB cached region — no disk contention; both
 //     should deliver full memory speed (AFQ slightly slower: bookkeeping).
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 
 namespace splitio {
@@ -124,7 +125,8 @@ void PrintComparison(const char* title, Mode mode, bool fairness_goal) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 11: AFQ vs CFQ priorities");
   PrintComparison("(a) sequential read, 8 threads", Mode::kSeqRead, true);

@@ -6,6 +6,7 @@
 // period. Block-Deadline lets B's flushes capture A's fsyncs (journal
 // ordering); Split-Deadline spreads B's cost with async writeback and keeps
 // A near its target.
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 
 namespace splitio {
@@ -82,7 +83,8 @@ void Section(const char* device, bool ssd) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 12: fsync latency isolation (Table 3 deadlines)");
   Section("HDD (A deadline 100 ms, B 800 ms)", false);

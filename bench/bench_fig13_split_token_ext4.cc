@@ -3,9 +3,11 @@
 // Same experiment as Figure 6 but with Split-Token: B is throttled to
 // 10 MB/s of *normalized* I/O (sequential-equivalent bytes, revised at the
 // block level), so A's throughput barely moves with B's pattern.
+#include "bench/common/flags.h"
 #include "bench/common/isolation.h"
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 13: Split-Token isolation with ext4");
   std::printf("%10s %16s %16s %16s %16s\n", "run-size", "A|B-read(MB/s)",

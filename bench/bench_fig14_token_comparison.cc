@@ -6,9 +6,11 @@
 // throughput. Split-Token holds the target all six times; SCS sacrifices
 // isolation for random B workloads and massacres in-memory B workloads
 // (the paper reports 2.3x and 837x wins for read-mem / write-mem).
+#include "bench/common/flags.h"
 #include "bench/common/isolation.h"
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 14: Split-Token vs SCS-Token (B throttled to 1 MB/s)");
 

@@ -6,6 +6,7 @@
 // memory-bound B activities (and a pure spin loop issuing no I/O at all)
 // A only suffers once B's thread count overwhelms the CPUs — the I/O
 // scheduler is innocent; a CPU scheduler is the missing piece.
+#include "bench/common/flags.h"
 #include "bench/common/isolation.h"
 
 namespace splitio {
@@ -99,7 +100,8 @@ double RunB(BWorkload w, int threads) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 15: A's throughput vs number of B threads (32 cores, "
              "B shares one 1 MB/s account)");

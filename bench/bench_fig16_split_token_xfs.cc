@@ -4,9 +4,11 @@
 // the integration (generic buffer tagging, no log-task proxying). Data
 // workloads are still well isolated — the paper's point that partial
 // integration suffices for data-intensive workloads.
+#include "bench/common/flags.h"
 #include "bench/common/isolation.h"
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 16: Split-Token isolation with XFS (partial integration)");
   std::printf("%10s %16s %16s %16s %16s\n", "run-size", "A|B-read(MB/s)",

@@ -6,6 +6,7 @@
 // so Split-Token charges and throttles B's creates and A stays fast. With
 // XFS's partial integration the log writes are attributed to the XFS log
 // task: B escapes the throttle and A pays.
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 
 namespace splitio {
@@ -49,7 +50,8 @@ Row Run(StackConfig::FsKind fs, Nanos sleep) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 17: metadata-heavy B (create+fsync) under Split-Token");
   std::printf("%11s | %12s %14s | %12s %14s\n", "B-sleep(ms)", "A-ext4(MB/s)",

@@ -6,6 +6,7 @@
 // worse*: the 99th percentile falls while the 99.9th keeps rising. Under
 // Split-Deadline the checkpoint is spread with async writeback and both
 // tails stay low.
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 #include "src/apps/waldb.h"
 
@@ -57,7 +58,8 @@ Row Run(SchedKind kind, uint64_t threshold) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 18: WalDb transaction tail latency vs checkpoint "
              "threshold (HDD)");

@@ -5,6 +5,7 @@
 //   split-pdflush  : Split-Deadline but with kernel writeback left on;
 //                    write syscalls throttled at a lower dirty cap;
 //   split-deadline : Split-Deadline owning writeback — tails eliminated.
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 #include "src/apps/pgsim.h"
 
@@ -69,7 +70,8 @@ Cdf Run(SchedKind kind, bool own_writeback) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 19: PgSim transaction latency CDF (SSD, 30s "
              "checkpoints, target 15 ms)");

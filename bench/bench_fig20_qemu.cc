@@ -5,6 +5,7 @@
 // throttling applies to the whole VM process. Split-Token still isolates A.
 // The interesting flip: SCS's huge mem-workload penalty disappears, because
 // the guest cache absorbs memory-bound I/O before SCS can tax it.
+#include "bench/common/flags.h"
 #include "bench/common/isolation.h"
 #include "src/apps/vm_guest.h"
 
@@ -104,7 +105,8 @@ Outcome Run(SchedKind kind, BWorkload w, double a_alone_hint) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 20: token isolation for QEMU-style VMs (B's VM "
              "throttled to 1 MB/s)");

@@ -7,6 +7,7 @@
 // (cap/3) * 7 workers / tokens spread across the cluster; with 64 MB
 // blocks, placement imbalance strands tokens on idle workers, so the group
 // falls short; 16 MB blocks spread load and approach the bound.
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 #include "src/apps/dfs.h"
 
@@ -65,7 +66,8 @@ void Section(uint64_t block_bytes) {
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Figure 21: HDFS write isolation (7 workers, 3x replication, "
              "4 throttled + 4 unthrottled writers)");

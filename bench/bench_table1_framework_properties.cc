@@ -10,6 +10,7 @@
 //  Reordering: with a journal batching two processes' updates, can the
 //    framework keep A's durability latency independent of B's buffered
 //    data? (Measured as the entanglement ratio.)
+#include "bench/common/flags.h"
 #include "bench/common/harness.h"
 
 namespace splitio {
@@ -126,7 +127,8 @@ const char* Mark(bool ok) { return ok ? "yes" : "NO"; }
 }  // namespace
 }  // namespace splitio
 
-int main() {
+int main(int argc, char** argv) {
+  splitio::ParseBenchFlags(argc, argv);
   using namespace splitio;
   PrintTitle("Table 1: framework properties (probed, not asserted)");
 

@@ -1,0 +1,36 @@
+// Command-line flags shared by every bench binary.
+//
+// `--seed N` (or `--seed=N`) installs a global seed override: every RNG the
+// simulation derives through DeriveSeed() is remixed with it, so one flag
+// re-randomizes all workloads coherently. Without the flag the override is 0
+// and every bench reproduces its historical, bit-identical run. The active
+// seed is echoed in the BENCHJSON line (report.h) for provenance.
+#ifndef BENCH_COMMON_FLAGS_H_
+#define BENCH_COMMON_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/sim/random.h"
+
+namespace splitio {
+
+inline void ParseBenchFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      SetGlobalSeed(std::strtoull(argv[++i], nullptr, 0));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      SetGlobalSeed(std::strtoull(arg + 7, nullptr, 0));
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("usage: %s [--seed N]\n", argv[0]);
+      std::exit(0);
+    }
+    // Unknown flags are ignored so wrappers can pass their own through.
+  }
+}
+
+}  // namespace splitio
+
+#endif  // BENCH_COMMON_FLAGS_H_

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/metrics/counters.h"
+#include "src/sim/random.h"
 
 namespace splitio {
 
@@ -33,12 +34,12 @@ inline void PrintJsonLine() {
   const Counters& c = counters();
   auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
   std::printf(
-      "BENCHJSON {\"events_processed\":%llu,"
+      "BENCHJSON {\"events_processed\":%llu,\"seed\":%llu,"
       "\"counters\":{\"sim_events\":%llu,\"sim_immediate\":%llu,"
       "\"cache_lookups\":%llu,\"cache_hits\":%llu,\"pages_dirtied\":%llu,"
       "\"block_submitted\":%llu,\"block_merged\":%llu,"
       "\"block_completed\":%llu},\"metrics\":{",
-      u(c.sim_events), u(c.sim_events), u(c.sim_immediate),
+      u(c.sim_events), u(GlobalSeed()), u(c.sim_events), u(c.sim_immediate),
       u(c.cache_lookups), u(c.cache_hits), u(c.pages_dirtied),
       u(c.block_submitted), u(c.block_merged), u(c.block_completed));
   const auto& metrics = Metrics();

@@ -47,9 +47,18 @@ Task<void> BlockLayer::DispatchLoop() {
     }
     if (req->is_flush) {
       req->service_time = co_await device_->Flush();
+      req->result = 0;
     } else {
-      DeviceRequest dreq{req->sector, req->bytes, req->is_write};
-      req->service_time = co_await device_->Execute(dreq);
+      int fault = fault_hook_ ? fault_hook_(*req) : 0;
+      if (fault != 0) {
+        req->service_time = 0;
+        req->result = fault;
+      } else {
+        DeviceRequest dreq{req->sector, req->bytes, req->is_write};
+        DeviceResult res = co_await device_->Execute(dreq);
+        req->service_time = res.service;
+        req->result = res.error;
+      }
     }
     ++total_completed_;
     ++counters().block_completed;
@@ -60,6 +69,7 @@ Task<void> BlockLayer::DispatchLoop() {
     req->done.Set();
     for (const BlockRequestPtr& child : req->merged) {
       child->service_time = req->service_time;
+      child->result = req->result;
       for (const CompletionHook& hook : completion_hooks_) {
         hook(*child);
       }

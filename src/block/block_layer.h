@@ -67,6 +67,13 @@ class BlockLayer {
     completion_hooks_.push_back(std::move(hook));
   }
 
+  // Block-level fault hook, consulted at dispatch before the request reaches
+  // the device: return 0 to proceed, or a negative errno to fail the request
+  // without any device I/O (models errors in the block layer itself, e.g. a
+  // failed bio). nullptr disables.
+  using BlockFaultHook = std::function<int(const BlockRequest&)>;
+  void set_fault_hook(BlockFaultHook hook) { fault_hook_ = std::move(hook); }
+
  private:
   Task<void> DispatchLoop();
 
@@ -78,6 +85,7 @@ class BlockLayer {
   uint64_t total_completed_ = 0;
   uint64_t total_merged_ = 0;
   std::vector<CompletionHook> completion_hooks_;
+  BlockFaultHook fault_hook_;
 };
 
 }  // namespace splitio

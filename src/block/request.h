@@ -41,6 +41,18 @@ struct BlockRequest {
   Process* submitter = nullptr;
   CauseSet causes;
 
+  // Logical origin of the request, for crash-consistency bookkeeping
+  // (src/fault): the inode and first page index a data write covers, or the
+  // transaction/LSN a journal write commits. -1 / 0 when not applicable.
+  int64_t ino = -1;
+  uint64_t first_page = 0;
+  uint64_t journal_tid = 0;
+
+  // errno-style completion status: 0 on success, negative errno (-EIO) when
+  // the device or a fault hook failed the request. Valid once `done` fires;
+  // propagated to merged children.
+  int result = 0;
+
   Nanos enqueue_time = 0;
   Nanos deadline = kNanosMax;
   Nanos service_time = 0;  // filled in on completion

@@ -21,6 +21,7 @@ StorageStack::StorageStack(const StackConfig& config, CpuModel* cpu,
   } else {
     device_ = std::make_unique<SsdModel>(config_.ssd);
   }
+  device_->set_volatile_cache(config_.volatile_write_cache);
 
   Elevator* elevator =
       sched_ != nullptr ? static_cast<Elevator*>(sched_.get()) : legacy_.get();

@@ -30,6 +30,11 @@ struct StackConfig {
   FsKind fs = FsKind::kExt4;
   bool xfs_full_integration = false;
 
+  // Enable the device's volatile write cache (writes durable only at
+  // flush). Pair with layout.durability_barriers so fsync means durable;
+  // used by the crash-consistency harness (src/fault).
+  bool volatile_write_cache = false;
+
   HddConfig hdd;
   SsdConfig ssd;
   PageCache::Config cache;

@@ -3,9 +3,45 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "src/metrics/counters.h"
 #include "src/sim/simulator.h"
 
 namespace splitio {
+
+Task<DeviceResult> BlockDevice::Execute(const DeviceRequest& req) {
+  if (fault_hook_ != nullptr) {
+    DeviceFaultHook::Outcome out = fault_hook_->OnDeviceRequest(req);
+    if (out.extra_latency > 0) {
+      co_await Delay(out.extra_latency);
+      busy_time_ += out.extra_latency;
+    }
+    if (out.error != 0) {
+      // The request dies in the controller: no media transfer, no
+      // persistence state change.
+      co_return DeviceResult{out.extra_latency, out.error};
+    }
+  }
+  Nanos service = co_await ExecuteModel(req);
+  RecordTraffic(req, service);
+  if (req.is_write) {
+    ++write_seq_;
+    if (volatile_cache_) {
+      volatile_writes_.push_back(WriteRecord{write_seq_, req.sector,
+                                             req.bytes});
+    }
+  }
+  co_return DeviceResult{service, 0};
+}
+
+Task<Nanos> BlockDevice::Flush() {
+  Nanos service = co_await FlushModel();
+  busy_time_ += service;
+  ++flushes_;
+  ++counters().device_flushes;
+  durable_seq_ = write_seq_;
+  volatile_writes_.clear();
+  co_return service;
+}
 
 Nanos HddModel::ServiceTime(const DeviceRequest& req, uint64_t head) const {
   uint64_t distance =
@@ -29,11 +65,10 @@ Nanos HddModel::ServiceTime(const DeviceRequest& req, uint64_t head) const {
   return positioning + TransferTime(req.bytes, config_.sequential_bw);
 }
 
-Task<Nanos> HddModel::Execute(const DeviceRequest& req) {
+Task<Nanos> HddModel::ExecuteModel(const DeviceRequest& req) {
   Nanos service = ServiceTime(req, head_);
   head_ = req.sector + req.bytes / kSectorSize;
   co_await Delay(service);
-  RecordTraffic(req, service);
   co_return service;
 }
 
@@ -41,7 +76,7 @@ Nanos HddModel::EstimateCost(const DeviceRequest& req) const {
   return ServiceTime(req, head_);
 }
 
-Task<Nanos> HddModel::Flush() {
+Task<Nanos> HddModel::FlushModel() {
   co_await Delay(config_.flush_latency);
   co_return config_.flush_latency;
 }
@@ -59,13 +94,12 @@ Nanos SsdModel::ServiceTime(const DeviceRequest& req,
   return config_.read_latency + TransferTime(req.bytes, config_.read_bw);
 }
 
-Task<Nanos> SsdModel::Execute(const DeviceRequest& req) {
+Task<Nanos> SsdModel::ExecuteModel(const DeviceRequest& req) {
   Nanos service = ServiceTime(req, last_write_end_);
   if (req.is_write) {
     last_write_end_ = req.sector + req.bytes / kSectorSize;
   }
   co_await Delay(service);
-  RecordTraffic(req, service);
   co_return service;
 }
 
@@ -73,7 +107,7 @@ Nanos SsdModel::EstimateCost(const DeviceRequest& req) const {
   return ServiceTime(req, last_write_end_);
 }
 
-Task<Nanos> SsdModel::Flush() {
+Task<Nanos> SsdModel::FlushModel() {
   co_await Delay(config_.flush_latency);
   co_return config_.flush_latency;
 }

@@ -6,10 +6,19 @@
 // SATA SSD (Intel X25-M class). Absolute numbers are approximate; what the
 // experiments rely on is the *ratio* between sequential and random I/O cost,
 // which these models preserve.
+//
+// The base class additionally models *persistence*: with the volatile write
+// cache enabled, a completed write is merely "written" — it becomes durable
+// only when a subsequent Flush() retires it. A simulated crash therefore
+// yields exactly the durable image: everything up to the last flush, plus an
+// arbitrary (fault-model-chosen) subset of the still-volatile writes. With
+// the cache disabled (the default, and the historical behaviour) every
+// completed write is immediately durable and no tracking happens.
 #ifndef SRC_DEVICE_DEVICE_H_
 #define SRC_DEVICE_DEVICE_H_
 
 #include <cstdint>
+#include <deque>
 
 #include "src/sim/task.h"
 #include "src/sim/time.h"
@@ -25,15 +34,45 @@ struct DeviceRequest {
   bool is_write = false;
 };
 
+// Outcome of a device request: modeled service time plus an errno-style
+// result (0 on success, negative errno such as -EIO on failure).
+struct DeviceResult {
+  Nanos service = 0;
+  int error = 0;
+};
+
+// Pluggable fault model consulted before each request is serviced
+// (src/fault/fault_injector.h implements it). Kept here so the device layer
+// has no dependency on the fault subsystem.
+class DeviceFaultHook {
+ public:
+  virtual ~DeviceFaultHook() = default;
+
+  struct Outcome {
+    Nanos extra_latency = 0;  // added before (or instead of) service
+    int error = 0;            // nonzero: fail the request, skip the model
+  };
+  virtual Outcome OnDeviceRequest(const DeviceRequest& req) = 0;
+};
+
 class BlockDevice {
  public:
+  // One completed-but-not-yet-flushed write (volatile cache entry).
+  struct WriteRecord {
+    uint64_t seq = 0;  // completion order, 1-based
+    uint64_t sector = 0;
+    uint32_t bytes = 0;
+  };
+
   virtual ~BlockDevice() = default;
 
-  // Services the request, advancing simulated time. Returns the service time.
-  virtual Task<Nanos> Execute(const DeviceRequest& req) = 0;
+  // Services the request, advancing simulated time. Non-virtual: wraps the
+  // model with fault injection and persistence bookkeeping.
+  Task<DeviceResult> Execute(const DeviceRequest& req);
 
-  // Flushes the device write cache (barrier). Returns the service time.
-  virtual Task<Nanos> Flush() = 0;
+  // Flushes the device write cache (barrier): every previously completed
+  // write becomes durable. Returns the service time.
+  Task<Nanos> Flush();
 
   // Cost estimate for scheduling decisions; does not change device state.
   virtual Nanos EstimateCost(const DeviceRequest& req) const = 0;
@@ -48,7 +87,33 @@ class BlockDevice {
   uint64_t total_bytes_written() const { return bytes_written_; }
   Nanos busy_time() const { return busy_time_; }
 
+  // --- Persistence model ---
+  // Enables the volatile write cache: writes become durable only at Flush().
+  // Off by default — every write is durable on completion, nothing tracked.
+  void set_volatile_cache(bool on) { volatile_cache_ = on; }
+  bool volatile_cache() const { return volatile_cache_; }
+
+  // Sequence number of the most recently completed write (0 = none yet).
+  uint64_t last_write_seq() const { return write_seq_; }
+  // All writes with seq <= durable_seq() are on stable media.
+  uint64_t durable_seq() const {
+    return volatile_cache_ ? durable_seq_ : write_seq_;
+  }
+  // Completed writes still sitting in the volatile cache, oldest first.
+  const std::deque<WriteRecord>& volatile_writes() const {
+    return volatile_writes_;
+  }
+  uint64_t flushes() const { return flushes_; }
+
+  // Attaches a fault model (nullptr detaches). Not owned.
+  void set_fault_hook(DeviceFaultHook* hook) { fault_hook_ = hook; }
+
  protected:
+  // Model-specific service: advance simulated time, return the service time.
+  virtual Task<Nanos> ExecuteModel(const DeviceRequest& req) = 0;
+  virtual Task<Nanos> FlushModel() = 0;
+
+ private:
   void RecordTraffic(const DeviceRequest& req, Nanos service) {
     if (req.is_write) {
       bytes_written_ += req.bytes;
@@ -58,10 +123,16 @@ class BlockDevice {
     busy_time_ += service;
   }
 
- private:
   uint64_t bytes_read_ = 0;
   uint64_t bytes_written_ = 0;
   Nanos busy_time_ = 0;
+
+  bool volatile_cache_ = false;
+  uint64_t write_seq_ = 0;
+  uint64_t durable_seq_ = 0;
+  uint64_t flushes_ = 0;
+  std::deque<WriteRecord> volatile_writes_;
+  DeviceFaultHook* fault_hook_ = nullptr;
 };
 
 struct HddConfig {
@@ -82,8 +153,6 @@ class HddModel : public BlockDevice {
  public:
   explicit HddModel(const HddConfig& config = HddConfig()) : config_(config) {}
 
-  Task<Nanos> Execute(const DeviceRequest& req) override;
-  Task<Nanos> Flush() override;
   Nanos EstimateCost(const DeviceRequest& req) const override;
   bool is_rotational() const override { return true; }
   uint64_t capacity_sectors() const override {
@@ -92,6 +161,10 @@ class HddModel : public BlockDevice {
   double sequential_bw() const override { return config_.sequential_bw; }
 
   uint64_t head_position() const { return head_; }
+
+ protected:
+  Task<Nanos> ExecuteModel(const DeviceRequest& req) override;
+  Task<Nanos> FlushModel() override;
 
  private:
   Nanos ServiceTime(const DeviceRequest& req, uint64_t head) const;
@@ -116,14 +189,16 @@ class SsdModel : public BlockDevice {
  public:
   explicit SsdModel(const SsdConfig& config = SsdConfig()) : config_(config) {}
 
-  Task<Nanos> Execute(const DeviceRequest& req) override;
-  Task<Nanos> Flush() override;
   Nanos EstimateCost(const DeviceRequest& req) const override;
   bool is_rotational() const override { return false; }
   uint64_t capacity_sectors() const override {
     return config_.capacity_sectors;
   }
   double sequential_bw() const override { return config_.read_bw; }
+
+ protected:
+  Task<Nanos> ExecuteModel(const DeviceRequest& req) override;
+  Task<Nanos> FlushModel() override;
 
  private:
   Nanos ServiceTime(const DeviceRequest& req, uint64_t last_end) const;

@@ -1,0 +1,131 @@
+#include "src/fault/crash_checker.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace splitio {
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kJournalReplayHole:
+      return "journal_replay_hole";
+    case ViolationKind::kCommittedTxMissingData:
+      return "committed_tx_missing_data";
+    case ViolationKind::kFsyncAckedDataLost:
+      return "fsync_acked_data_lost";
+    case ViolationKind::kWalPrefixHole:
+      return "wal_prefix_hole";
+  }
+  return "unknown";
+}
+
+CrashReport CheckCrashImage(const CrashMonitor& monitor, const CrashImage& img,
+                            bool strict_journal_order) {
+  CrashReport report;
+  const std::vector<WriteEvent>& log = monitor.log();
+
+  // 1. Journal replay: accept the longest durable prefix of commit records.
+  // Journal writes are sequential (jbd2 head / XFS log cursor), so the
+  // media-completion order of records is also their logical order.
+  std::set<uint64_t> replayed_tids;
+  bool hole = false;
+  for (size_t i = 0; i < img.events_upto; ++i) {
+    const WriteEvent& e = log[i];
+    if (!e.is_journal || e.journal_tid == 0) {
+      continue;
+    }
+    if (!img.EventDurable(e)) {
+      hole = true;  // replay stops at the first missing/torn record
+      continue;
+    }
+    if (hole) {
+      if (strict_journal_order) {
+        report.violations.push_back(Violation{
+            ViolationKind::kJournalReplayHole, e.journal_tid, e.ino, e.seq});
+      }
+      continue;  // replay stopped; the record is ignored either way
+    }
+    replayed_tids.insert(e.journal_tid);
+    ++report.replayed_commits;
+  }
+
+  // 2. Every replayed commit's ordered data must be durable.
+  for (size_t i = 0; i < img.commits_upto; ++i) {
+    const CommitPoint& commit = monitor.commits()[i];
+    if (replayed_tids.count(commit.tid) == 0) {
+      continue;  // commit record not in the durable image: not replayed
+    }
+    ++report.checked_commits;
+    for (size_t dep : commit.dep_events) {
+      const WriteEvent& e = log[dep];
+      if (!img.EventDurable(e)) {
+        report.violations.push_back(
+            Violation{ViolationKind::kCommittedTxMissingData, commit.tid,
+                      e.ino, e.seq});
+      }
+    }
+  }
+
+  // 3. Every successfully acknowledged fsync's data must be durable.
+  for (size_t i = 0; i < img.acks_upto; ++i) {
+    const FsyncAck& ack = monitor.acks()[i];
+    if (ack.result != 0) {
+      continue;  // a failed fsync promises nothing
+    }
+    ++report.checked_acks;
+    for (size_t dep : ack.dep_events) {
+      const WriteEvent& e = log[dep];
+      if (!img.EventDurable(e)) {
+        report.violations.push_back(Violation{
+            ViolationKind::kFsyncAckedDataLost, 0, ack.ino, e.seq});
+      }
+    }
+  }
+  return report;
+}
+
+void CheckWalPrefix(const CrashMonitor& monitor, const CrashImage& img,
+                    int64_t wal_ino, CrashReport* report) {
+  // Collect the acknowledged events of the WAL file, ordered by file offset;
+  // a missing event below a present one breaks the log's dense prefix.
+  std::set<size_t> acked;
+  for (size_t i = 0; i < img.acks_upto; ++i) {
+    const FsyncAck& ack = monitor.acks()[i];
+    if (ack.ino != wal_ino || ack.result != 0) {
+      continue;
+    }
+    acked.insert(ack.dep_events.begin(), ack.dep_events.end());
+  }
+  const std::vector<WriteEvent>& log = monitor.log();
+  std::vector<size_t> by_offset(acked.begin(), acked.end());
+  std::sort(by_offset.begin(), by_offset.end(), [&log](size_t a, size_t b) {
+    return log[a].first_page < log[b].first_page;
+  });
+  size_t first_missing = by_offset.size();
+  for (size_t i = 0; i < by_offset.size(); ++i) {
+    if (!img.EventDurable(log[by_offset[i]])) {
+      first_missing = i;
+      break;
+    }
+  }
+  for (size_t i = first_missing; i < by_offset.size(); ++i) {
+    const WriteEvent& e = log[by_offset[i]];
+    if (img.EventDurable(e)) {
+      report->violations.push_back(
+          Violation{ViolationKind::kWalPrefixHole, 0, wal_ino, e.seq});
+    }
+  }
+}
+
+std::string DescribeViolations(const CrashReport& report) {
+  std::ostringstream out;
+  out << report.violations.size() << " violation(s)";
+  for (const Violation& v : report.violations) {
+    out << "; " << ViolationKindName(v.kind) << " tid=" << v.tid
+        << " ino=" << v.ino << " seq=" << v.seq;
+  }
+  return out.str();
+}
+
+}  // namespace splitio

@@ -1,0 +1,54 @@
+#include "src/fault/fault_injector.h"
+
+#include <cerrno>
+
+#include "src/metrics/counters.h"
+
+namespace splitio {
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      crash_rng_(config.seed ^ 0xc5a5c5a5c5a5c5a5ULL) {}
+
+FaultInjector::Outcome FaultInjector::Decide(bool is_write) {
+  Outcome out;
+  if (!enabled_) {
+    return out;
+  }
+  ++requests_seen_;
+  double eio_rate = is_write ? config_.write_eio_rate : config_.read_eio_rate;
+  // Always draw both decisions so the stream's alignment with the seed does
+  // not depend on which rates are nonzero.
+  double eio_draw = rng_.NextDouble();
+  double spike_draw = rng_.NextDouble();
+  if (spike_draw < config_.latency_spike_rate) {
+    out.extra_latency += config_.latency_spike;
+    ++spikes_injected_;
+    ++counters().faults_injected;
+  }
+  if (eio_draw < eio_rate) {
+    out.extra_latency += config_.eio_latency;
+    out.error = -EIO;
+    ++eios_injected_;
+    ++counters().faults_injected;
+  }
+  return out;
+}
+
+FaultInjector::Outcome FaultInjector::OnDeviceRequest(
+    const DeviceRequest& req) {
+  return Decide(req.is_write);
+}
+
+int FaultInjector::OnBlockRequest(const BlockRequest& req) {
+  if (req.is_flush) {
+    return 0;  // barriers carry no data; let them reach the device
+  }
+  Outcome out = Decide(req.is_write);
+  // The block-layer flavour has no place to burn latency (the dispatch loop
+  // owns the device clock), so only the error part applies.
+  return out.error;
+}
+
+}  // namespace splitio

@@ -220,9 +220,17 @@ Task<void> CowFsSim::Checkpoint(Process& initiator) {
   checkpoint_done_.NotifyAll();
 }
 
-Task<void> CowFsSim::Fsync(Process& proc, int64_t ino) {
+Task<int> CowFsSim::Fsync(Process& proc, int64_t ino) {
   co_await CowFlush(proc, ino, kNoPageLimit, /*wait=*/true);
+  int err = TakeWritebackError(ino);
   co_await Checkpoint(proc);
+  if (layout().durability_barriers) {
+    int ferr = co_await SubmitFlushBarrier(proc);
+    if (err == 0) {
+      err = ferr;
+    }
+  }
+  co_return err;
 }
 
 Task<void> CowFsSim::CheckpointLoop() {

@@ -49,7 +49,7 @@ class CowFsSim : public FsBase {
 
   void Mount();
 
-  Task<void> Fsync(Process& proc, int64_t ino) override;
+  Task<int> Fsync(Process& proc, int64_t ino) override;
 
   uint64_t checkpoints() const { return checkpoints_; }
   uint64_t gc_runs() const { return gc_runs_; }

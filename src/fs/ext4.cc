@@ -11,6 +11,7 @@ Ext4Sim::Ext4Sim(PageCache* cache, BlockLayer* block, Process* writeback_task,
         c.journal_start_sector = layout.journal_start;
         c.journal_sectors = layout.journal_sectors;
         c.metadata_area_sector = layout.metadata_start;
+        c.durability_barriers = layout.durability_barriers;
         return c;
       }()) {
   (void)journal_task;
@@ -29,18 +30,36 @@ Ext4Sim::Ext4Sim(PageCache* cache, BlockLayer* block, Process* writeback_task,
 
 void Ext4Sim::Mount() { journal_.Start(); }
 
-Task<void> Ext4Sim::Fsync(Process& proc, int64_t ino) {
+Task<int> Ext4Sim::Fsync(Process& proc, int64_t ino) {
   // 1. Write the file's own dirty data (the caller performs this I/O, so it
   //    is attributed to the caller).
   co_await FlushInodeData(proc, ino, kNoPageLimit, /*wait=*/true);
+  int err = TakeWritebackError(ino);
   // 2. If the file's metadata is part of the running transaction, force a
   //    commit — dragging in every ordered inode batched with it. If the
   //    relevant transaction is already committing, wait for it.
   if (journal_.InodeInRunningTx(ino)) {
-    co_await journal_.CommitRunningAndWait();
-  } else if (journal_.InodeInCommittingTx(ino)) {
-    co_await journal_.WaitCommitting();
+    // The commit's own post-record barrier (when enabled) covers the data
+    // flushed in step 1: it completed before the commit started.
+    int cerr = co_await journal_.CommitRunningAndWait();
+    if (err == 0) {
+      err = cerr;
+    }
+  } else {
+    if (journal_.InodeInCommittingTx(ino)) {
+      co_await journal_.WaitCommitting();
+    }
+    if (layout().durability_barriers) {
+      // Data-only fsync (or one that piggybacked on an in-flight commit
+      // whose barriers may predate our data): the acknowledgment itself is
+      // the durability point, so force the device cache out.
+      int ferr = co_await SubmitFlushBarrier(proc);
+      if (err == 0) {
+        err = ferr;
+      }
+    }
   }
+  co_return err;
 }
 
 }  // namespace splitio

@@ -24,7 +24,7 @@ class Ext4Sim : public FsBase {
   // Starts journal background tasks (commit timer, checkpointer).
   void Mount();
 
-  Task<void> Fsync(Process& proc, int64_t ino) override;
+  Task<int> Fsync(Process& proc, int64_t ino) override;
 
   Jbd2Journal& journal() { return journal_; }
 

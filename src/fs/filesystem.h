@@ -34,6 +34,10 @@ struct Inode {
   std::unordered_map<uint64_t, uint64_t> extents;
   // Allocation chunks already reserved for this file: chunk -> base sector.
   std::unordered_map<uint64_t, uint64_t> chunks;
+  // Sticky writeback error (errseq-lite): set when background writeback of
+  // this file's pages fails, reported and cleared by the next fsync —
+  // mirroring Linux's "fsync reports the error once" semantics.
+  int wb_error = 0;
 };
 
 // Assigns on-disk locations chunk-at-a-time: a file written back alone stays
@@ -74,16 +78,19 @@ class FileSystem {
   virtual Task<int64_t> Mkdir(Process& proc, const std::string& path) = 0;
   virtual Task<void> Unlink(Process& proc, int64_t ino) = 0;
 
-  // Data operations. Read/Write return bytes moved. Writes go to the page
-  // cache; reads are served from cache or disk.
-  virtual Task<uint64_t> Read(Process& proc, int64_t ino, uint64_t offset,
+  // Data operations. Read/Write return bytes moved, or a negative errno
+  // (-EIO) when the I/O failed. Writes go to the page cache; reads are
+  // served from cache or disk.
+  virtual Task<int64_t> Read(Process& proc, int64_t ino, uint64_t offset,
+                             uint64_t len) = 0;
+  virtual Task<int64_t> Write(Process& proc, int64_t ino, uint64_t offset,
                               uint64_t len) = 0;
-  virtual Task<uint64_t> Write(Process& proc, int64_t ino, uint64_t offset,
-                               uint64_t len) = 0;
 
   // Durability: flush the file's data and metadata. Subject to the file
-  // system's ordering mechanism (journal commit etc.).
-  virtual Task<void> Fsync(Process& proc, int64_t ino) = 0;
+  // system's ordering mechanism (journal commit etc.). Returns 0 on
+  // success or a negative errno — including a sticky error from earlier
+  // background writeback of this file (consumed by this call).
+  virtual Task<int> Fsync(Process& proc, int64_t ino) = 0;
 
   // Background writeback of one inode's dirty pages (called by the
   // writeback daemon or by a scheduler that owns writeback). Submits up to
@@ -118,6 +125,11 @@ class FsBase : public FileSystem {
     // Pages to read ahead when a sequential read pattern is detected
     // (0 = readahead disabled).
     uint32_t readahead_pages = 0;
+    // Issue device cache-flush barriers where durability requires them
+    // (before/after journal commit records, at fsync return). Off by
+    // default: with the device's volatile cache disabled every write is
+    // durable on completion and barriers would only add no-op requests.
+    bool durability_barriers = false;
   };
 
   FsBase(PageCache* cache, BlockLayer* block, Process* writeback_task,
@@ -126,10 +138,10 @@ class FsBase : public FileSystem {
   Task<int64_t> Create(Process& proc, const std::string& path) override;
   Task<int64_t> Mkdir(Process& proc, const std::string& path) override;
   Task<void> Unlink(Process& proc, int64_t ino) override;
-  Task<uint64_t> Read(Process& proc, int64_t ino, uint64_t offset,
+  Task<int64_t> Read(Process& proc, int64_t ino, uint64_t offset,
+                     uint64_t len) override;
+  Task<int64_t> Write(Process& proc, int64_t ino, uint64_t offset,
                       uint64_t len) override;
-  Task<uint64_t> Write(Process& proc, int64_t ino, uint64_t offset,
-                       uint64_t len) override;
   Task<uint64_t> WritebackInode(int64_t ino, uint64_t max_pages) override;
   int64_t Lookup(const std::string& path) const override;
   uint64_t FileSize(int64_t ino) const override;
@@ -143,6 +155,9 @@ class FsBase : public FileSystem {
   // allocated and clean (as if written and flushed long ago). No simulated
   // I/O is performed.
   int64_t CreatePreallocated(const std::string& path, uint64_t bytes);
+
+  // Returns and clears the inode's sticky writeback error (fsync path).
+  int TakeWritebackError(int64_t ino);
 
   PageCache& cache() { return *cache_; }
   BlockLayer& block() { return *block_; }
@@ -169,6 +184,10 @@ class FsBase : public FileSystem {
   // blocks until all in-flight writeback for the inode completes.
   Task<uint64_t> FlushInodeData(Process& submitter, int64_t ino,
                                 uint64_t max_pages, bool wait);
+
+  // Submits a device cache-flush barrier on behalf of `proc` and waits for
+  // it. Returns the barrier request's completion status.
+  Task<int> SubmitFlushBarrier(Process& proc);
 
   int64_t NewInode(const std::string& path, bool is_dir);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/metrics/counters.h"
+
 namespace splitio {
 
 FsBase::FsBase(PageCache* cache, BlockLayer* block, Process* writeback_task,
@@ -76,8 +78,8 @@ Task<void> FsBase::Unlink(Process& proc, int64_t ino) {
   JournalMetadata(proc, ino, 2);
 }
 
-Task<uint64_t> FsBase::Read(Process& proc, int64_t ino, uint64_t offset,
-                            uint64_t len) {
+Task<int64_t> FsBase::Read(Process& proc, int64_t ino, uint64_t offset,
+                           uint64_t len) {
   Inode* inode = GetInode(ino);
   if (inode == nullptr || len == 0) {
     co_return 0;
@@ -102,6 +104,7 @@ Task<uint64_t> FsBase::Read(Process& proc, int64_t ino, uint64_t offset,
   uint64_t run_start = 0;
   uint64_t run_sector = 0;
   uint32_t run_pages = 0;
+  int read_error = 0;
   auto submit_run = [&]() -> Task<void> {
     auto req = std::make_shared<BlockRequest>();
     req->sector = run_sector;
@@ -110,7 +113,14 @@ Task<uint64_t> FsBase::Read(Process& proc, int64_t ino, uint64_t offset,
     req->is_sync = true;
     req->submitter = &proc;
     req->causes = proc.Causes();
+    req->ino = ino;
+    req->first_page = run_start;
     co_await block_->SubmitAndWait(req);
+    if (req->result != 0) {
+      // Failed read: nothing lands in the cache; surface the error.
+      read_error = req->result;
+      co_return;
+    }
     for (uint32_t i = 0; i < run_pages; ++i) {
       cache_->InsertClean(ino, run_start + i);
     }
@@ -149,11 +159,14 @@ Task<uint64_t> FsBase::Read(Process& proc, int64_t ino, uint64_t offset,
   if (run_pages > 0) {
     co_await submit_run();
   }
-  co_return len;
+  if (read_error != 0) {
+    co_return read_error;
+  }
+  co_return static_cast<int64_t>(len);
 }
 
-Task<uint64_t> FsBase::Write(Process& proc, int64_t ino, uint64_t offset,
-                             uint64_t len) {
+Task<int64_t> FsBase::Write(Process& proc, int64_t ino, uint64_t offset,
+                            uint64_t len) {
   Inode* inode = GetInode(ino);
   if (inode == nullptr || len == 0) {
     co_return 0;
@@ -167,7 +180,7 @@ Task<uint64_t> FsBase::Write(Process& proc, int64_t ino, uint64_t offset,
   // Delayed allocation: no metadata is journaled here; allocation (and the
   // resulting transaction entanglement) happens at writeback/fsync time.
   co_await cache_->ThrottleDirty();
-  co_return len;
+  co_return static_cast<int64_t>(len);
 }
 
 Task<uint64_t> FsBase::FlushInodeData(Process& submitter, int64_t ino,
@@ -225,6 +238,8 @@ Task<uint64_t> FsBase::FlushInodeData(Process& submitter, int64_t ino,
     // prioritize accordingly.
     req->is_sync = !submitter.is_proxy();
     req->submitter = &submitter;
+    req->ino = ino;
+    req->first_page = run_start;
     // The run's cause set is rebuilt (or cleared) after every submit, so
     // hand the allocation to the request instead of copying it.
     req->causes = std::move(run_causes);
@@ -269,6 +284,29 @@ Task<uint64_t> FsBase::FlushInodeData(Process& submitter, int64_t ino,
   co_return indices.size();
 }
 
+Task<int> FsBase::SubmitFlushBarrier(Process& proc) {
+  auto req = std::make_shared<BlockRequest>();
+  req->is_flush = true;
+  // Flush barriers are ordering-critical and have a waiter: mark them write
+  // + sync so elevators route them like urgent writes, never idling on them.
+  req->is_write = true;
+  req->is_sync = true;
+  req->submitter = &proc;
+  req->causes = proc.Causes();
+  co_await block_->SubmitAndWait(req);
+  co_return req->result;
+}
+
+int FsBase::TakeWritebackError(int64_t ino) {
+  Inode* inode = GetInode(ino);
+  if (inode == nullptr) {
+    return 0;
+  }
+  int err = inode->wb_error;
+  inode->wb_error = 0;
+  return err;
+}
+
 void FsBase::BeginInflight(int64_t ino) {
   InflightState& state = inflight_[ino];
   ++state.count;
@@ -279,6 +317,16 @@ Task<void> FsBase::WatchWritebackCompletion(BlockRequestPtr req, int64_t ino,
                                             uint64_t first_page,
                                             uint32_t npages) {
   co_await req->done.Wait();
+  if (req->result != 0) {
+    // Transient writeback failure: the pages' contents are dropped (Linux
+    // likewise does not re-dirty on EIO) and the error is latched on the
+    // inode for the next fsync to report.
+    Inode* inode = GetInode(ino);
+    if (inode != nullptr && inode->wb_error == 0) {
+      inode->wb_error = req->result;
+    }
+    ++counters().wb_errors;
+  }
   for (uint32_t i = 0; i < npages; ++i) {
     cache_->MarkWritebackDone(ino, first_page + i);
   }

@@ -41,9 +41,10 @@ Task<void> Jbd2Journal::WaitCommitting() {
   }
 }
 
-Task<void> Jbd2Journal::CommitRunningAndWait() {
+Task<int> Jbd2Journal::CommitRunningAndWait() {
   std::shared_ptr<Tx> tx = running_;
   co_await DoCommit(tx);
+  co_return tx->error;
 }
 
 Task<void> Jbd2Journal::DoCommit(std::shared_ptr<Tx> tx) {
@@ -77,7 +78,29 @@ Task<void> Jbd2Journal::DoCommit(std::shared_ptr<Tx> tx) {
     for (int64_t ino : ordered) {
       co_await flush_ordered_(ino);
     }
-    co_await WriteJournalRecord(*tx);
+    if (commit_hook_) {
+      commit_hook_(tx->id, ordered);
+    }
+    if (config_.durability_barriers && !config_.buggy_skip_preflush) {
+      // Barrier: the ordered data (and prior metadata) must be on media
+      // before the commit record can make the transaction valid.
+      int err = co_await SubmitFlushBarrier();
+      if (tx->error == 0) {
+        tx->error = err;
+      }
+    }
+    int werr = co_await WriteJournalRecord(*tx);
+    if (tx->error == 0) {
+      tx->error = werr;
+    }
+    if (config_.durability_barriers) {
+      // Barrier: the commit record itself must be durable before anyone is
+      // told the transaction committed (fsync acknowledgment).
+      int err = co_await SubmitFlushBarrier();
+      if (tx->error == 0) {
+        tx->error = err;
+      }
+    }
     journal_task_->EndProxy();
 
     checkpoint_backlog_.push_back(
@@ -93,7 +116,7 @@ Task<void> Jbd2Journal::DoCommit(std::shared_ptr<Tx> tx) {
   commit_done_.NotifyAll();
 }
 
-Task<void> Jbd2Journal::WriteJournalRecord(const Tx& tx) {
+Task<int> Jbd2Journal::WriteJournalRecord(const Tx& tx) {
   // Descriptor block + metadata payload + commit block, written
   // sequentially at the journal head.
   uint64_t payload_pages = static_cast<uint64_t>(tx.meta_blocks) + 2;
@@ -108,9 +131,23 @@ Task<void> Jbd2Journal::WriteJournalRecord(const Tx& tx) {
   req->is_journal = true;
   req->submitter = journal_task_;
   req->causes = tx.causes;
+  req->journal_tid = tx.id;
   journal_cursor_ += sectors;
   journal_bytes_written_ += req->bytes;
   co_await block_->SubmitAndWait(req);
+  co_return req->result;
+}
+
+Task<int> Jbd2Journal::SubmitFlushBarrier() {
+  auto req = std::make_shared<BlockRequest>();
+  req->is_flush = true;
+  req->is_write = true;
+  req->is_sync = true;
+  req->is_journal = true;
+  req->submitter = journal_task_;
+  req->causes = journal_task_->Causes();
+  co_await block_->SubmitAndWait(req);
+  co_return req->result;
 }
 
 Task<void> Jbd2Journal::CommitLoop() {

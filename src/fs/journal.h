@@ -39,6 +39,15 @@ class Jbd2Journal {
     int checkpoint_threshold_blocks = 4096;
     Nanos checkpoint_interval = Sec(30);
     uint64_t metadata_area_sector = 1ULL << 20 >> 9;
+    // Issue device cache-flush barriers around the commit record: one after
+    // the ordered data (so the commit record never precedes its data on
+    // media) and one after the record (so a completed commit is durable).
+    // Copied from FsBase::Layout::durability_barriers by Ext4Sim.
+    bool durability_barriers = false;
+    // Test-only injected ordering bug: skip the pre-record barrier, letting
+    // a volatile-cache device reorder the commit record ahead of its data.
+    // Exists to prove the crash checker catches real ordering violations.
+    bool buggy_skip_preflush = false;
   };
 
   // `flush_ordered` waits until the inode's in-flight ordered data is
@@ -57,6 +66,14 @@ class Jbd2Journal {
     flush_ordered_ = std::move(fn);
   }
 
+  // Invoked during commit, after the transaction's ordered data has been
+  // flushed and immediately before the commit record is written — the point
+  // where ordered mode promises that data is on its way to media. Used by
+  // the crash-consistency monitor to snapshot the commit's data dependencies.
+  using CommitHook =
+      std::function<void(uint64_t tid, const std::vector<int64_t>& ordered)>;
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
   // Spawns the periodic commit and checkpoint tasks.
   void Start();
 
@@ -73,8 +90,9 @@ class Jbd2Journal {
   bool RunningTxHasUpdates() const { return running_->has_updates; }
 
   // Commits the current running transaction and waits for durability
-  // (fsync path). Waits behind any in-flight commit first.
-  Task<void> CommitRunningAndWait();
+  // (fsync path). Waits behind any in-flight commit first. Returns 0 on
+  // success or the transaction's first write error (negative errno).
+  Task<int> CommitRunningAndWait();
 
   // Waits for the in-flight commit, if any.
   Task<void> WaitCommitting();
@@ -91,19 +109,22 @@ class Jbd2Journal {
     CauseSet causes;
     std::set<int64_t> ordered_inodes;
     std::set<int64_t> meta_inodes;
+    int error = 0;  // first write/flush error hit while committing
     Latch committed;
   };
 
   Task<void> DoCommit(std::shared_ptr<Tx> tx);
   Task<void> CommitLoop();
   Task<void> CheckpointLoop();
-  Task<void> WriteJournalRecord(const Tx& tx);
+  Task<int> WriteJournalRecord(const Tx& tx);
+  Task<int> SubmitFlushBarrier();
 
   BlockLayer* block_;
   Process* journal_task_;
   Process* checkpoint_task_;
   Config config_;
   FlushOrderedFn flush_ordered_;
+  CommitHook commit_hook_;
   uint64_t next_tid_ = 1;
   std::shared_ptr<Tx> running_;
   std::shared_ptr<Tx> committing_;

@@ -19,14 +19,28 @@ void XfsSim::JournalMetadata(Process& cause, int64_t ino, int blocks) {
   pending_.push_back(LogItem{ino, blocks, cause.Causes(), next_lsn_++});
 }
 
-Task<void> XfsSim::Fsync(Process& proc, int64_t ino) {
+Task<int> XfsSim::Fsync(Process& proc, int64_t ino) {
   co_await FlushInodeData(proc, ino, kNoPageLimit, /*wait=*/true);
+  int err = TakeWritebackError(ino);
   // Log force: make every log item up to the current LSN durable. Unlike
   // ext4's ordered commit, this writes only metadata.
-  co_await LogForce();
+  int lerr = co_await LogForce();
+  if (err == 0) {
+    err = lerr;
+  }
+  if (layout().durability_barriers) {
+    // One barrier covers both the data flushed above and the log write:
+    // both completed before the flush is submitted.
+    int ferr = co_await SubmitFlushBarrier(proc);
+    if (err == 0) {
+      err = ferr;
+    }
+  }
+  co_return err;
 }
 
-Task<void> XfsSim::LogForce() {
+Task<int> XfsSim::LogForce() {
+  int force_error = 0;
   uint64_t target = next_lsn_ - 1;
   while (synced_lsn_ < target) {
     if (forcing_) {
@@ -64,9 +78,13 @@ Task<void> XfsSim::LogForce() {
       req->is_journal = true;
       req->submitter = log_task_;
       req->causes = log_task_->Causes();
+      req->journal_tid = batch_lsn;
       log_cursor_ += sectors;
       log_bytes_written_ += req->bytes;
       co_await block().SubmitAndWait(req);
+      if (req->result != 0 && force_error == 0) {
+        force_error = req->result;
+      }
       if (log_config_.full_integration) {
         log_task_->EndProxy();
       }
@@ -76,6 +94,7 @@ Task<void> XfsSim::LogForce() {
     forcing_ = false;
     force_done_.NotifyAll();
   }
+  co_return force_error;
 }
 
 Task<void> XfsSim::PeriodicFlushLoop() {

@@ -38,7 +38,7 @@ class XfsSim : public FsBase {
 
   void Mount();
 
-  Task<void> Fsync(Process& proc, int64_t ino) override;
+  Task<int> Fsync(Process& proc, int64_t ino) override;
 
   uint64_t log_forces() const { return log_forces_; }
   uint64_t log_bytes_written() const { return log_bytes_written_; }
@@ -60,8 +60,9 @@ class XfsSim : public FsBase {
   };
 
   // Flushes all pending log items (log force). Batches items; a concurrent
-  // force makes later callers wait and re-check.
-  Task<void> LogForce();
+  // force makes later callers wait and re-check. Returns 0 or the first
+  // log-write error observed while forcing.
+  Task<int> LogForce();
   Task<void> PeriodicFlushLoop();
 
   Process* log_task_;

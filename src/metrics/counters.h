@@ -26,6 +26,10 @@ struct Counters {
   uint64_t block_submitted = 0;
   uint64_t block_merged = 0;
   uint64_t block_completed = 0;
+  // Device persistence / fault injection.
+  uint64_t device_flushes = 0;
+  uint64_t faults_injected = 0;
+  uint64_t wb_errors = 0;
 };
 
 // Process-global counters (single-threaded simulation; no synchronization).

@@ -108,9 +108,10 @@ void SplitDeadlineScheduler::Add(BlockRequestPtr req) {
     sorted_[0].emplace(req->sector, req);
     read_fifo_.push_back(std::move(req));
     ++count_[0];
-  } else if (req->is_journal || req->is_sync) {
-    // Someone's fsync is blocked on this write: it must not queue behind
-    // background writeback. Served ahead of the sorted location queues.
+  } else if (req->is_flush || req->is_journal || req->is_sync) {
+    // Someone's fsync is blocked on this write (or it is a durability
+    // barrier): it must not queue behind background writeback. Served ahead
+    // of the sorted location queues.
     urgent_fifo_.push_back(std::move(req));
     ++pending_;
     return;

@@ -140,6 +140,15 @@ BlockRequestPtr SplitTokenScheduler::Next() {
 }
 
 void SplitTokenScheduler::OnComplete(const BlockRequest& req) {
+  if (req.result != 0) {
+    // Failed request: no useful service was rendered, so don't bill the
+    // causes for amplification — refund any preliminary charge instead.
+    if (req.is_write && config_.revise_at_block_level &&
+        req.prelim_charged > 0) {
+      ChargeCauses(req.causes, -req.prelim_charged);
+    }
+    return;
+  }
   // Block-level accounting: what did this I/O actually cost? Normalize the
   // measured service time to sequential-equivalent bytes.
   double actual = ToSeconds(req.service_time) *

@@ -56,6 +56,32 @@ class Rng {
   uint64_t state_[4];
 };
 
+// Process-wide seed override, settable from the command line (`--seed` in
+// bench binaries). 0 — the default — means "no override": components keep
+// their historical per-stream seed constants, so existing figures are
+// bit-for-bit unchanged unless a seed is explicitly requested.
+inline uint64_t& GlobalSeedRef() {
+  static uint64_t seed = 0;
+  return seed;
+}
+
+inline uint64_t GlobalSeed() { return GlobalSeedRef(); }
+inline void SetGlobalSeed(uint64_t seed) { GlobalSeedRef() = seed; }
+
+// Derives the seed for one random stream from its per-stream salt: the salt
+// alone without an override, otherwise a splitmix64-style mix of the two so
+// distinct salts stay decorrelated under every override.
+inline uint64_t DeriveSeed(uint64_t salt) {
+  uint64_t g = GlobalSeed();
+  if (g == 0) {
+    return salt;
+  }
+  uint64_t z = g + salt * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace splitio
 
 #endif  // SRC_SIM_RANDOM_H_

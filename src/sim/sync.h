@@ -42,7 +42,8 @@ class Event {
   Task<bool> WaitWithTimeout(Nanos timeout);
 
   void NotifyOne() {
-    Simulator& sim = Simulator::current();
+    // No waiters: nothing to schedule — and there may legitimately be no
+    // live Simulator (e.g. a Semaphore released outside any simulation).
     while (!waiters_.empty()) {
       WaitNode node = std::move(waiters_.front());
       waiters_.pop_front();
@@ -52,12 +53,16 @@ class Event {
         }
         node.state->notified = true;
       }
+      Simulator& sim = Simulator::current();
       sim.Schedule(sim.Now(), node.handle);
       return;
     }
   }
 
   void NotifyAll() {
+    if (waiters_.empty()) {
+      return;
+    }
     Simulator& sim = Simulator::current();
     for (const WaitNode& node : waiters_) {
       if (node.state != nullptr) {

@@ -36,41 +36,45 @@ Task<void> OsKernel::Unlink(Process& proc, int64_t ino) {
   co_await fs_->Unlink(proc, ino);
 }
 
-Task<uint64_t> OsKernel::Read(Process& proc, int64_t ino, uint64_t offset,
-                              uint64_t len) {
+Task<int64_t> OsKernel::Read(Process& proc, int64_t ino, uint64_t offset,
+                             uint64_t len) {
   if (sched_ != nullptr) {
     co_await sched_->OnReadEntry(proc, ino, offset, len);
   }
   co_await ChargeCpu(len);
-  uint64_t n = co_await fs_->Read(proc, ino, offset, len);
+  int64_t n = co_await fs_->Read(proc, ino, offset, len);
   if (sched_ != nullptr) {
-    sched_->OnReadExit(proc, ino, n);
+    sched_->OnReadExit(proc, ino, n < 0 ? 0 : static_cast<uint64_t>(n));
   }
   co_return n;
 }
 
-Task<uint64_t> OsKernel::Write(Process& proc, int64_t ino, uint64_t offset,
-                               uint64_t len) {
+Task<int64_t> OsKernel::Write(Process& proc, int64_t ino, uint64_t offset,
+                              uint64_t len) {
   if (sched_ != nullptr) {
     co_await sched_->OnWriteEntry(proc, ino, offset, len);
   }
   co_await ChargeCpu(len);
-  uint64_t n = co_await fs_->Write(proc, ino, offset, len);
+  int64_t n = co_await fs_->Write(proc, ino, offset, len);
   if (sched_ != nullptr) {
-    sched_->OnWriteExit(proc, ino, n);
+    sched_->OnWriteExit(proc, ino, n < 0 ? 0 : static_cast<uint64_t>(n));
   }
   co_return n;
 }
 
-Task<void> OsKernel::Fsync(Process& proc, int64_t ino) {
+Task<int> OsKernel::Fsync(Process& proc, int64_t ino) {
   if (sched_ != nullptr) {
     co_await sched_->OnFsyncEntry(proc, ino);
   }
   co_await ChargeCpu(0);
-  co_await fs_->Fsync(proc, ino);
+  int result = co_await fs_->Fsync(proc, ino);
   if (sched_ != nullptr) {
     sched_->OnFsyncExit(proc, ino);
   }
+  if (fsync_observer_) {
+    fsync_observer_(proc, ino, result);
+  }
+  co_return result;
 }
 
 }  // namespace splitio

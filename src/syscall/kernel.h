@@ -7,6 +7,7 @@
 #ifndef SRC_SYSCALL_KERNEL_H_
 #define SRC_SYSCALL_KERNEL_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,17 +34,27 @@ class OsKernel {
       : fs_(fs), cache_(cache), cpu_(cpu), sched_(sched), config_(config) {}
 
   // ---- POSIX-ish surface ----
+  // Read/Write return bytes moved or a negative errno; Fsync returns 0 or a
+  // negative errno (transient device faults surface here, as in a real
+  // kernel).
   Task<int64_t> Creat(Process& proc, const std::string& path);
   Task<int64_t> Mkdir(Process& proc, const std::string& path);
   Task<void> Unlink(Process& proc, int64_t ino);
-  Task<uint64_t> Read(Process& proc, int64_t ino, uint64_t offset,
+  Task<int64_t> Read(Process& proc, int64_t ino, uint64_t offset,
+                     uint64_t len);
+  Task<int64_t> Write(Process& proc, int64_t ino, uint64_t offset,
                       uint64_t len);
-  Task<uint64_t> Write(Process& proc, int64_t ino, uint64_t offset,
-                       uint64_t len);
-  Task<void> Fsync(Process& proc, int64_t ino);
+  Task<int> Fsync(Process& proc, int64_t ino);
 
   FileSystem& fs() { return *fs_; }
   PageCache& cache() { return *cache_; }
+
+  // Observes every fsync return (process, inode, result) — the
+  // crash-consistency monitor records acknowledgment points through this.
+  using FsyncObserver = std::function<void(Process&, int64_t, int)>;
+  void set_fsync_observer(FsyncObserver observer) {
+    fsync_observer_ = std::move(observer);
+  }
 
  private:
   Task<void> ChargeCpu(uint64_t len);
@@ -53,6 +64,7 @@ class OsKernel {
   CpuModel* cpu_;
   SplitScheduler* sched_;  // may be null (legacy block-only stack)
   Config config_;
+  FsyncObserver fsync_observer_;
 };
 
 }  // namespace splitio

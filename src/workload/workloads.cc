@@ -8,6 +8,9 @@ namespace splitio {
 
 namespace {
 Nanos Now() { return Simulator::current().Now(); }
+// Syscalls return a negative errno under fault injection; failed I/O moves
+// zero bytes as far as throughput accounting is concerned.
+uint64_t OkBytes(int64_t n) { return n < 0 ? 0 : static_cast<uint64_t>(n); }
 }  // namespace
 
 Task<void> SequentialReader(OsKernel& kernel, Process& proc, int64_t ino,
@@ -15,7 +18,7 @@ Task<void> SequentialReader(OsKernel& kernel, Process& proc, int64_t ino,
                             WorkloadStats* stats) {
   uint64_t offset = 0;
   while (Now() < until) {
-    uint64_t n = co_await kernel.Read(proc, ino, offset, io_size);
+    uint64_t n = OkBytes(co_await kernel.Read(proc, ino, offset, io_size));
     stats->bytes += n;
     ++stats->ops;
     offset += io_size;
@@ -28,11 +31,11 @@ Task<void> SequentialReader(OsKernel& kernel, Process& proc, int64_t ino,
 Task<void> RandomReader(OsKernel& kernel, Process& proc, int64_t ino,
                         uint64_t file_bytes, uint64_t io_size, uint64_t seed,
                         Nanos until, WorkloadStats* stats) {
-  Rng rng(seed);
+  Rng rng(DeriveSeed(seed));
   uint64_t slots = file_bytes / io_size;
   while (Now() < until) {
     uint64_t offset = rng.Below(slots) * io_size;
-    uint64_t n = co_await kernel.Read(proc, ino, offset, io_size);
+    uint64_t n = OkBytes(co_await kernel.Read(proc, ino, offset, io_size));
     stats->bytes += n;
     ++stats->ops;
   }
@@ -43,7 +46,7 @@ Task<void> SequentialWriter(OsKernel& kernel, Process& proc, int64_t ino,
                             WorkloadStats* stats) {
   uint64_t offset = 0;
   while (Now() < until) {
-    uint64_t n = co_await kernel.Write(proc, ino, offset, io_size);
+    uint64_t n = OkBytes(co_await kernel.Write(proc, ino, offset, io_size));
     stats->bytes += n;
     ++stats->ops;
     offset += io_size;
@@ -53,11 +56,11 @@ Task<void> SequentialWriter(OsKernel& kernel, Process& proc, int64_t ino,
 Task<void> RandomWriter(OsKernel& kernel, Process& proc, int64_t ino,
                         uint64_t file_bytes, uint64_t io_size, uint64_t seed,
                         Nanos until, WorkloadStats* stats) {
-  Rng rng(seed);
+  Rng rng(DeriveSeed(seed));
   uint64_t slots = file_bytes / io_size;
   while (Now() < until) {
     uint64_t offset = rng.Below(slots) * io_size;
-    uint64_t n = co_await kernel.Write(proc, ino, offset, io_size);
+    uint64_t n = OkBytes(co_await kernel.Write(proc, ino, offset, io_size));
     stats->bytes += n;
     ++stats->ops;
   }
@@ -67,7 +70,7 @@ Task<void> RunSizeWorkload(OsKernel& kernel, Process& proc, int64_t ino,
                            uint64_t file_bytes, uint64_t run_bytes,
                            bool writes, uint64_t seed, Nanos until,
                            WorkloadStats* stats) {
-  Rng rng(seed);
+  Rng rng(DeriveSeed(seed));
   constexpr uint64_t kIo = 64 * 1024;
   uint64_t io = std::min(kIo, run_bytes);
   uint64_t slots = file_bytes / kPageSize;
@@ -76,9 +79,16 @@ Task<void> RunSizeWorkload(OsKernel& kernel, Process& proc, int64_t ino,
     uint64_t end = std::min(offset + run_bytes, file_bytes);
     for (uint64_t pos = offset; pos < end && Now() < until; pos += io) {
       uint64_t len = std::min(io, end - pos);
-      uint64_t n = writes ? co_await kernel.Write(proc, ino, pos, len)
-                          : co_await kernel.Read(proc, ino, pos, len);
-      stats->bytes += n;
+      // Keep the co_awaits out of conditional subexpressions: GCC 12's
+      // coroutine lowering mis-selects the branch when a ?:-with-co_await
+      // is nested inside a call argument.
+      int64_t n;
+      if (writes) {
+        n = co_await kernel.Write(proc, ino, pos, len);
+      } else {
+        n = co_await kernel.Read(proc, ino, pos, len);
+      }
+      stats->bytes += OkBytes(n);
       ++stats->ops;
     }
   }
@@ -102,7 +112,7 @@ Task<void> BigWriteFsyncLoop(OsKernel& kernel, Process& proc, int64_t ino,
                              uint64_t file_bytes, uint64_t nbytes,
                              uint64_t block, Nanos pause, uint64_t seed,
                              Nanos until, WorkloadStats* stats) {
-  Rng rng(seed);
+  Rng rng(DeriveSeed(seed));
   uint64_t slots = file_bytes / block;
   while (Now() < until) {
     for (uint64_t written = 0; written < nbytes; written += block) {
@@ -146,7 +156,7 @@ Task<void> MemReader(OsKernel& kernel, Process& proc, int64_t ino,
   }
   uint64_t offset = 0;
   while (Now() < until) {
-    uint64_t n = co_await kernel.Read(proc, ino, offset, io_size);
+    uint64_t n = OkBytes(co_await kernel.Read(proc, ino, offset, io_size));
     stats->bytes += n;
     ++stats->ops;
     offset += io_size;
@@ -161,7 +171,7 @@ Task<void> MemWriter(OsKernel& kernel, Process& proc, int64_t ino,
                      WorkloadStats* stats) {
   uint64_t offset = 0;
   while (Now() < until) {
-    uint64_t n = co_await kernel.Write(proc, ino, offset, io_size);
+    uint64_t n = OkBytes(co_await kernel.Write(proc, ino, offset, io_size));
     stats->bytes += n;
     ++stats->ops;
     offset += io_size;

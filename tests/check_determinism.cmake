@@ -1,0 +1,36 @@
+# Determinism regression check: runs one bench binary twice with the same
+# --seed and requires byte-identical output — tables and the BENCHJSON line
+# alike. Any hidden nondeterminism (iteration order, uninitialized state,
+# wall-clock leakage) shows up as a diff here long before it corrupts a
+# figure. Invoked by ctest; pass -DBENCH=<path-to-binary>.
+if(NOT DEFINED BENCH)
+  message(FATAL_ERROR "pass -DBENCH=<path to a bench binary>")
+endif()
+
+# detect_leaks=0: benches stop at a time horizon with workload coroutines
+# still suspended, so their frames are (intentionally) alive at exit —
+# LeakSanitizer would flag them in the SPLITIO_SANITIZE build. ASan/UBSan
+# error checking itself stays active.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env ASAN_OPTIONS=detect_leaks=0
+                ${BENCH} --seed 123
+                OUTPUT_VARIABLE out1 RESULT_VARIABLE rc1)
+execute_process(COMMAND ${CMAKE_COMMAND} -E env ASAN_OPTIONS=detect_leaks=0
+                ${BENCH} --seed 123
+                OUTPUT_VARIABLE out2 RESULT_VARIABLE rc2)
+if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "bench exited nonzero: ${rc1} / ${rc2}")
+endif()
+
+string(REGEX MATCH "BENCHJSON [^\n]*" json1 "${out1}")
+if(json1 STREQUAL "")
+  message(FATAL_ERROR "no BENCHJSON line in bench output")
+endif()
+string(FIND "${json1}" "\"seed\":123" seed_pos)
+if(seed_pos EQUAL -1)
+  message(FATAL_ERROR "--seed 123 not echoed in BENCHJSON: ${json1}")
+endif()
+
+if(NOT out1 STREQUAL out2)
+  message(FATAL_ERROR "output differs between identical-seed runs")
+endif()
+message(STATUS "deterministic: identical output across two --seed 123 runs")

@@ -10,7 +10,20 @@ namespace {
 Nanos RunOne(BlockDevice& dev, const DeviceRequest& req) {
   Simulator sim;
   Nanos service = -1;
-  auto body = [&]() -> Task<void> { service = co_await dev.Execute(req); };
+  auto body = [&]() -> Task<void> {
+    DeviceResult res = co_await dev.Execute(req);
+    EXPECT_EQ(res.error, 0);
+    service = res.service;
+  };
+  sim.Spawn(body());
+  sim.Run();
+  return service;
+}
+
+Nanos RunFlush(BlockDevice& dev) {
+  Simulator sim;
+  Nanos service = -1;
+  auto body = [&]() -> Task<void> { service = co_await dev.Flush(); };
   sim.Spawn(body());
   sim.Run();
   return service;
@@ -94,12 +107,64 @@ TEST(SsdModel, RandomWritePenaltyApplies) {
   Nanos rand_time = 0;
   auto body = [&]() -> Task<void> {
     co_await ssd.Execute({0, kPageSize, true});
-    seq_time = co_await ssd.Execute({kPageSize / kSectorSize, kPageSize, true});
-    rand_time = co_await ssd.Execute({999999, kPageSize, true});
+    seq_time =
+        (co_await ssd.Execute({kPageSize / kSectorSize, kPageSize, true}))
+            .service;
+    rand_time = (co_await ssd.Execute({999999, kPageSize, true})).service;
   };
   sim.Spawn(body());
   sim.Run();
   EXPECT_GT(rand_time, seq_time);
+}
+
+// --- Persistence model: Flush() is the only durability barrier ---
+
+void CheckFlushSemantics(BlockDevice& dev) {
+  dev.set_volatile_cache(true);
+  RunOne(dev, {0, kPageSize, true});
+  RunOne(dev, {kPageSize / kSectorSize, 2 * kPageSize, true});
+  // Written but not flushed: nothing durable yet.
+  EXPECT_EQ(dev.last_write_seq(), 2u);
+  EXPECT_EQ(dev.durable_seq(), 0u);
+  ASSERT_EQ(dev.volatile_writes().size(), 2u);
+  EXPECT_EQ(dev.volatile_writes()[0].seq, 1u);
+  EXPECT_EQ(dev.volatile_writes()[1].bytes, 2u * kPageSize);
+  // Flush makes all prior writes durable.
+  RunFlush(dev);
+  EXPECT_EQ(dev.durable_seq(), 2u);
+  EXPECT_TRUE(dev.volatile_writes().empty());
+  EXPECT_EQ(dev.flushes(), 1u);
+  // A write after the flush is volatile again.
+  RunOne(dev, {1000, kPageSize, true});
+  EXPECT_EQ(dev.last_write_seq(), 3u);
+  EXPECT_EQ(dev.durable_seq(), 2u);
+  EXPECT_EQ(dev.volatile_writes().size(), 1u);
+}
+
+TEST(Persistence, HddWriteNotDurableUntilFlush) {
+  HddModel hdd;
+  CheckFlushSemantics(hdd);
+}
+
+TEST(Persistence, SsdWriteNotDurableUntilFlush) {
+  SsdModel ssd;
+  CheckFlushSemantics(ssd);
+}
+
+TEST(Persistence, CacheDisabledWritesAreImmediatelyDurable) {
+  HddModel hdd;  // volatile cache off by default
+  RunOne(hdd, {0, kPageSize, true});
+  EXPECT_EQ(hdd.last_write_seq(), 1u);
+  EXPECT_EQ(hdd.durable_seq(), 1u);
+  EXPECT_TRUE(hdd.volatile_writes().empty());
+}
+
+TEST(Persistence, ReadsDoNotAffectDurability) {
+  SsdModel ssd;
+  ssd.set_volatile_cache(true);
+  RunOne(ssd, {0, kPageSize, false});
+  EXPECT_EQ(ssd.last_write_seq(), 0u);
+  EXPECT_TRUE(ssd.volatile_writes().empty());
 }
 
 }  // namespace
