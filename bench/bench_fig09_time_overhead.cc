@@ -19,6 +19,8 @@ struct Row {
 };
 
 Row Run(SchedKind kind, int threads) {
+  StackCounterScope counter_scope(std::string(SchedName(kind)) + "/t" +
+                                  std::to_string(threads));
   auto wall_start = std::chrono::steady_clock::now();
   Simulator sim;
   BundleOptions opt;

@@ -32,9 +32,17 @@ int main(int argc, char** argv) {
     p.b_rate = 1.0 * 1024 * 1024;
     p.b_workload = w;
     p.sched = SchedKind::kScsToken;
-    IsolationResult scs = RunIsolation(p);
+    IsolationResult scs;
+    {
+      StackCounterScope scope(std::string("scs-token/") + BWorkloadName(w));
+      scs = RunIsolation(p);
+    }
     p.sched = SchedKind::kSplitToken;
-    IsolationResult split = RunIsolation(p);
+    IsolationResult split;
+    {
+      StackCounterScope scope(std::string("split-token/") + BWorkloadName(w));
+      split = RunIsolation(p);
+    }
     auto slowdown = [&](double a_mbps) {
       return 100.0 * (1.0 - a_mbps / a_alone);
     };

@@ -116,6 +116,24 @@ inline Bundle MakeBundle(SchedKind kind, BundleOptions opt = BundleOptions()) {
   return b;
 }
 
+// RAII: snapshots the global counters at construction and reports the delta
+// under `label` (via ReportStackCounters) at destruction. Wrap one stack's
+// whole lifetime — construction, workload, teardown — so the BENCHJSON
+// per_stack object attributes counter activity to that scheduler:
+//
+//   { StackCounterScope scope(SchedName(kind));
+//     Bundle b = MakeBundle(kind, opt); ... run ... }
+struct StackCounterScope {
+  explicit StackCounterScope(std::string label_in)
+      : label(std::move(label_in)), before(counters()) {}
+  ~StackCounterScope() { ReportStackCounters(label, counters().Delta(before)); }
+  StackCounterScope(const StackCounterScope&) = delete;
+  StackCounterScope& operator=(const StackCounterScope&) = delete;
+
+  std::string label;
+  Counters before;
+};
+
 inline void PrintTitle(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }

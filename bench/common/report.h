@@ -30,6 +30,26 @@ inline std::vector<std::pair<std::string, double>>& Metrics() {
   return metrics;
 }
 
+// Per-stack counter deltas keyed by a bench-chosen label (usually the
+// scheduler name). Unlike the global counters, these attribute activity to
+// one stack in a multi-stack comparison bench.
+inline std::vector<std::pair<std::string, Counters>>& StackDeltas() {
+  static std::vector<std::pair<std::string, Counters>> deltas;
+  return deltas;
+}
+
+inline void PrintCountersObject(const Counters& c) {
+  auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::printf(
+      "{\"sim_events\":%llu,\"sim_immediate\":%llu,"
+      "\"cache_lookups\":%llu,\"cache_hits\":%llu,\"pages_dirtied\":%llu,"
+      "\"block_submitted\":%llu,\"block_merged\":%llu,"
+      "\"block_completed\":%llu}",
+      u(c.sim_events), u(c.sim_immediate), u(c.cache_lookups), u(c.cache_hits),
+      u(c.pages_dirtied), u(c.block_submitted), u(c.block_merged),
+      u(c.block_completed));
+}
+
 inline void PrintJsonLine() {
   const Counters& c = counters();
   auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
@@ -47,7 +67,19 @@ inline void PrintJsonLine() {
     std::printf("%s\"%s\":%.17g", i > 0 ? "," : "", metrics[i].first.c_str(),
                 metrics[i].second);
   }
-  std::printf("}}\n");
+  std::printf("}");
+  // Emitted only when a bench recorded per-stack deltas, so the BENCHJSON
+  // line of every bench that doesn't is byte-identical to before.
+  const auto& stacks = StackDeltas();
+  if (!stacks.empty()) {
+    std::printf(",\"per_stack\":{");
+    for (size_t i = 0; i < stacks.size(); ++i) {
+      std::printf("%s\"%s\":", i > 0 ? "," : "", stacks[i].first.c_str());
+      PrintCountersObject(stacks[i].second);
+    }
+    std::printf("}");
+  }
+  std::printf("}\n");
   std::fflush(stdout);
 }
 
@@ -55,9 +87,10 @@ struct AtExitRegistrar {
   AtExitRegistrar() {
     // Force construction of the metrics vector before registering the hook:
     // atexit handlers and static destructors run in reverse registration
-    // order, so the vector must be constructed first to still be alive when
+    // order, so the vectors must be constructed first to still be alive when
     // PrintJsonLine runs.
     Metrics();
+    StackDeltas();
     std::atexit(&PrintJsonLine);
   }
 };
@@ -71,6 +104,16 @@ inline AtExitRegistrar g_registrar;
 // latency) in the bench's BENCHJSON line, alongside the automatic counters.
 inline void ReportMetric(const std::string& name, double value) {
   benchreport::Metrics().emplace_back(name, value);
+}
+
+// Exposes one stack's counter delta in the BENCHJSON line, under
+// "per_stack":{"<label>":{...}}. Benches that compare several schedulers
+// snapshot the globals around each stack (see StackCounterScope in
+// harness.h) so the report attributes work per scheduler rather than only
+// binary-wide.
+inline void ReportStackCounters(const std::string& label,
+                                const Counters& delta) {
+  benchreport::StackDeltas().emplace_back(label, delta);
 }
 
 }  // namespace splitio

@@ -40,6 +40,10 @@ class BlockDeadlineElevator : public Elevator {
 
   std::string name() const override { return "block-deadline"; }
 
+  // Batch/starvation state assumes serial dispatch behind one hardware
+  // queue (the legacy, pre-mq deadline elevator).
+  bool mq_aware() const override { return false; }
+
   bool TryMerge(const BlockRequestPtr& req) override;
   void Add(BlockRequestPtr req) override;
   BlockRequestPtr Next() override;

@@ -1,10 +1,41 @@
 #include "src/block/block_layer.h"
 
+#include <algorithm>
+
 #include "src/metrics/counters.h"
 
 namespace splitio {
 
-void BlockLayer::Start() { Simulator::current().Spawn(DispatchLoop()); }
+void BlockLayer::Start() {
+  if (!mq_.enabled) {
+    Simulator::current().Spawn(DispatchLoop());
+    return;
+  }
+  effective_hw_queues_ =
+      elevator_->mq_aware() ? std::max(1, mq_.nr_hw_queues) : 1;
+  mq_.queue_depth = std::max(1, mq_.queue_depth);
+  // One context at depth 1 cannot overlap commands, so dispatch runs inline
+  // (await, don't spawn) and services through the serial device path. This
+  // keeps the completion->Next() step atomic exactly like the legacy loop —
+  // the same-timestamp interleaving, and therefore the schedule, is
+  // identical (the depth-1 equivalence tests pin this down).
+  mq_serial_ = effective_hw_queues_ == 1 && mq_.queue_depth == 1;
+  device_->set_queue_depth(
+      static_cast<uint32_t>(effective_hw_queues_ * mq_.queue_depth));
+  for (int i = 0; i < effective_hw_queues_; ++i) {
+    hw_queues_.push_back(std::make_unique<HwQueue>());
+  }
+  for (int i = 0; i < effective_hw_queues_; ++i) {
+    Simulator::current().Spawn(MqDispatchLoop(i));
+  }
+}
+
+int BlockLayer::MapSubmitterToHw(int32_t pid) const {
+  if (pid < 0 || effective_hw_queues_ <= 1) {
+    return 0;
+  }
+  return static_cast<int>(pid % effective_hw_queues_);
+}
 
 void BlockLayer::Submit(BlockRequestPtr req) {
   req->enqueue_time = Simulator::current().Now();
@@ -16,18 +47,55 @@ void BlockLayer::Submit(BlockRequestPtr req) {
   }
   ++total_submitted_;
   ++counters().block_submitted;
-  if (elevator_->TryMerge(req)) {
-    ++total_merged_;
-    ++counters().block_merged;
-    return;  // rides on the container request's completion
+  if (!mq_.enabled) {
+    if (elevator_->TryMerge(req)) {
+      ++total_merged_;
+      ++counters().block_merged;
+      return;  // rides on the container request's completion
+    }
+    elevator_->Add(std::move(req));
+    submit_event_.NotifyAll();
+    return;
   }
-  elevator_->Add(std::move(req));
-  submit_event_.NotifyAll();
+  // mq path: stage in the submitter's software queue; the mapped hardware
+  // context merges and inserts into the elevator when it drains. Merging at
+  // drain time sees the same elevator state as merging at submit time
+  // (everything that arrived earlier was drained earlier), so behaviour at
+  // depth 1 matches the legacy path.
+  int32_t pid = req->submitter != nullptr ? req->submitter->pid() : -1;
+  auto [it, inserted] = sw_queues_.try_emplace(pid);
+  if (inserted) {
+    it->second.hw_queue = MapSubmitterToHw(pid);
+  }
+  ++it->second.submitted;
+  int hw = it->second.hw_queue;
+  it->second.fifo.emplace_back(submit_seq_++, std::move(req));
+  hw_queues_[static_cast<size_t>(hw)]->kick.NotifyAll();
 }
 
 Task<void> BlockLayer::SubmitAndWait(BlockRequestPtr req) {
   Submit(req);
   co_await req->done.Wait();
+}
+
+void BlockLayer::FinishRequest(const BlockRequestPtr& req) {
+  ++total_completed_;
+  ++counters().block_completed;
+  elevator_->OnComplete(*req);
+  for (const CompletionHook& hook : completion_hooks_) {
+    hook(*req);
+  }
+  req->done.Set();
+  for (const BlockRequestPtr& child : req->merged) {
+    child->service_time = req->service_time;
+    child->result = req->result;
+    child->device_seq = req->device_seq;
+    for (const CompletionHook& hook : completion_hooks_) {
+      hook(*child);
+    }
+    child->done.Set();
+  }
+  req->merged.clear();
 }
 
 Task<void> BlockLayer::DispatchLoop() {
@@ -58,24 +126,141 @@ Task<void> BlockLayer::DispatchLoop() {
         DeviceResult res = co_await device_->Execute(dreq);
         req->service_time = res.service;
         req->result = res.error;
+        req->device_seq = res.write_seq;
       }
     }
-    ++total_completed_;
-    ++counters().block_completed;
-    elevator_->OnComplete(*req);
-    for (const CompletionHook& hook : completion_hooks_) {
-      hook(*req);
-    }
-    req->done.Set();
-    for (const BlockRequestPtr& child : req->merged) {
-      child->service_time = req->service_time;
-      child->result = req->result;
-      for (const CompletionHook& hook : completion_hooks_) {
-        hook(*child);
+    FinishRequest(req);
+  }
+}
+
+void BlockLayer::DrainSwQueues(int hw) {
+  // Pull this context's staged requests in global arrival order: repeatedly
+  // take the lowest submission sequence number among the mapped queues.
+  // O(#submitters) per request — submitter counts are small (tens).
+  for (;;) {
+    SwQueue* best = nullptr;
+    uint64_t best_seq = 0;
+    for (auto& [pid, sq] : sw_queues_) {
+      (void)pid;
+      if (sq.hw_queue != hw || sq.fifo.empty()) {
+        continue;
       }
-      child->done.Set();
+      if (best == nullptr || sq.fifo.front().first < best_seq) {
+        best_seq = sq.fifo.front().first;
+        best = &sq;
+      }
     }
-    req->merged.clear();
+    if (best == nullptr) {
+      return;
+    }
+    BlockRequestPtr req = std::move(best->fifo.front().second);
+    best->fifo.pop_front();
+    if (elevator_->TryMerge(req)) {
+      ++total_merged_;
+      ++counters().block_merged;
+      continue;
+    }
+    elevator_->Add(std::move(req));
+  }
+}
+
+void BlockLayer::KickIdleSiblings(int hw) {
+  for (int i = 0; i < effective_hw_queues_; ++i) {
+    if (i == hw) {
+      continue;
+    }
+    HwQueue& sibling = *hw_queues_[static_cast<size_t>(i)];
+    if (sibling.inflight < mq_.queue_depth) {
+      sibling.kick.NotifyAll();
+    }
+  }
+}
+
+Task<void> BlockLayer::MqDispatchLoop(int hw) {
+  HwQueue& q = *hw_queues_[static_cast<size_t>(hw)];
+  for (;;) {
+    DrainSwQueues(hw);
+    if (flush_draining_) {
+      // A barrier is in progress on another context; hold dispatch until
+      // it completes so the flush point stays well-defined.
+      co_await flush_done_.Wait();
+      continue;
+    }
+    if (q.inflight >= mq_.queue_depth) {
+      // Saturated: hand remaining elevator work to idle siblings.
+      if (!elevator_->Empty()) {
+        KickIdleSiblings(hw);
+      }
+      co_await q.kick.Wait();
+      continue;
+    }
+    BlockRequestPtr req = elevator_->Next();
+    if (req == nullptr) {
+      // Anticipatory idling only makes sense with a quiet device; with
+      // commands in flight, their completions will wake us anyway.
+      Nanos idle = total_inflight_ == 0 ? elevator_->IdleHint() : 0;
+      if (idle > 0) {
+        bool notified = co_await q.kick.WaitWithTimeout(idle);
+        if (!notified) {
+          elevator_->OnIdleExpired();
+        }
+      } else {
+        co_await q.kick.Wait();
+      }
+      continue;
+    }
+    if (req->is_flush) {
+      co_await MqFlushBarrier(std::move(req));
+      continue;
+    }
+    ++q.inflight;
+    ++total_inflight_;
+    if (mq_serial_) {
+      co_await MqDispatchOne(hw, std::move(req));
+    } else {
+      Simulator::current().Spawn(MqDispatchOne(hw, std::move(req)));
+    }
+  }
+}
+
+Task<void> BlockLayer::MqDispatchOne(int hw, BlockRequestPtr req) {
+  int fault = fault_hook_ ? fault_hook_(*req) : 0;
+  if (fault != 0) {
+    req->service_time = 0;
+    req->result = fault;
+  } else {
+    DeviceRequest dreq{req->sector, req->bytes, req->is_write};
+    DeviceResult res = mq_serial_ ? co_await device_->Execute(dreq)
+                                  : co_await device_->ExecuteQueued(dreq);
+    req->service_time = res.service;
+    req->result = res.error;
+    req->device_seq = res.write_seq;
+  }
+  HwQueue& q = *hw_queues_[static_cast<size_t>(hw)];
+  --q.inflight;
+  --total_inflight_;
+  FinishRequest(req);
+  q.kick.NotifyAll();
+  if (total_inflight_ == 0) {
+    drain_event_.NotifyAll();
+  }
+}
+
+Task<void> BlockLayer::MqFlushBarrier(BlockRequestPtr req) {
+  // Only one barrier can run at a time: every other context blocks on
+  // flush_done_ before reaching Next(), so a second flush request stays in
+  // the elevator until this one completes.
+  flush_draining_ = true;
+  while (total_inflight_ > 0) {
+    co_await drain_event_.Wait();
+  }
+  req->service_time = co_await device_->Flush();
+  req->result = 0;
+  flush_draining_ = false;
+  FinishRequest(req);
+  flush_done_.NotifyAll();
+  for (auto& hw : hw_queues_) {
+    hw->kick.NotifyAll();
   }
 }
 

@@ -34,6 +34,11 @@ class CfqElevator : public Elevator {
 
   std::string name() const override { return "cfq"; }
 
+  // Time-slice accounting and anticipation assume serial dispatch behind
+  // one hardware queue (like Linux's single-queue CFQ, which was never
+  // ported to blk-mq).
+  bool mq_aware() const override { return false; }
+
   void Add(BlockRequestPtr req) override;
   BlockRequestPtr Next() override;
   void OnComplete(const BlockRequest& req) override;

@@ -16,6 +16,17 @@ class Elevator {
 
   virtual std::string name() const = 0;
 
+  // Queue-topology contract (blk-mq refactor). A single-queue elevator
+  // (the default) assumes the legacy contract: it is consulted from one
+  // serial dispatch context, at most one request is in flight, and
+  // OnComplete arrives in dispatch order — the block layer therefore runs
+  // it behind a single hardware queue even when the stack is configured
+  // with several. An mq-aware elevator reasons about requests' *causes*
+  // rather than their queue position, so it may be drained by N hardware
+  // dispatch contexts with many commands in flight and completions
+  // arriving out of dispatch order.
+  virtual bool mq_aware() const { return false; }
+
   // Attempts to back-merge `req` into a queued adjacent request of the
   // same kind (Linux-style request merging). Returns true if merged — the
   // request's completion then rides on the container request.

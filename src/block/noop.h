@@ -19,6 +19,10 @@ class NoopElevator : public Elevator {
  public:
   std::string name() const override { return "noop"; }
 
+  // Kept single-queue for baseline fidelity: the legacy noop elevator ran
+  // behind one dispatch queue (device-side NCQ still applies via depth).
+  bool mq_aware() const override { return false; }
+
   // Back-merge with the most recently queued request (the common case for
   // streaming writers submitting contiguous runs).
   bool TryMerge(const BlockRequestPtr& req) override {

@@ -53,6 +53,13 @@ struct BlockRequest {
   // propagated to merged children.
   int result = 0;
 
+  // Media write sequence number assigned by the device at completion (0 for
+  // reads, flushes, and failed writes). Valid once `done` fires; merged
+  // children share the container's number (they were one media write).
+  // Correlates a request with the device's persistence log even when
+  // commands retire out of dispatch order (mq, queue depth > 1).
+  uint64_t device_seq = 0;
+
   Nanos enqueue_time = 0;
   Nanos deadline = kNanosMax;
   Nanos service_time = 0;  // filled in on completion

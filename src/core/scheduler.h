@@ -40,6 +40,11 @@ class SplitScheduler : public Elevator, public PageCacheHooks {
  public:
   ~SplitScheduler() override = default;
 
+  // Split schedulers classify work by cross-layer cause tags, not by queue
+  // position, so their block stage tolerates multiple hardware dispatch
+  // contexts and out-of-dispatch-order completions (blk-mq).
+  bool mq_aware() const override { return true; }
+
   // Called once after the stack is assembled.
   virtual void Attach(const StackContext& ctx) { ctx_ = ctx; }
 

@@ -25,7 +25,7 @@ StorageStack::StorageStack(const StackConfig& config, CpuModel* cpu,
 
   Elevator* elevator =
       sched_ != nullptr ? static_cast<Elevator*>(sched_.get()) : legacy_.get();
-  block_ = std::make_unique<BlockLayer>(device_.get(), elevator);
+  block_ = std::make_unique<BlockLayer>(device_.get(), elevator, config_.mq);
 
   // Kernel task processes. The writeback daemon runs at priority 4, like
   // Linux's flusher threads — the priority CFQ wrongly attributes buffered

@@ -37,6 +37,8 @@ struct StackConfig {
 
   HddConfig hdd;
   SsdConfig ssd;
+  // Block-layer queue topology. Default = legacy single queue, depth 1.
+  BlockMqConfig mq;
   PageCache::Config cache;
   OsKernel::Config kernel;
   FsBase::Layout layout;

@@ -1,6 +1,7 @@
 #include "src/device/device.h"
 
 #include <cmath>
+#include <cstddef>
 #include <cstdlib>
 
 #include "src/metrics/counters.h"
@@ -8,7 +9,7 @@
 
 namespace splitio {
 
-Task<DeviceResult> BlockDevice::Execute(const DeviceRequest& req) {
+Task<DeviceResult> BlockDevice::ServiceCommand(const DeviceRequest& req) {
   if (fault_hook_ != nullptr) {
     DeviceFaultHook::Outcome out = fault_hook_->OnDeviceRequest(req);
     if (out.extra_latency > 0) {
@@ -18,22 +19,77 @@ Task<DeviceResult> BlockDevice::Execute(const DeviceRequest& req) {
     if (out.error != 0) {
       // The request dies in the controller: no media transfer, no
       // persistence state change.
-      co_return DeviceResult{out.extra_latency, out.error};
+      co_return DeviceResult{out.extra_latency, out.error, 0};
     }
   }
   Nanos service = co_await ExecuteModel(req);
   RecordTraffic(req, service);
+  uint64_t seq = 0;
   if (req.is_write) {
-    ++write_seq_;
+    seq = ++write_seq_;
     if (volatile_cache_) {
       volatile_writes_.push_back(WriteRecord{write_seq_, req.sector,
                                              req.bytes});
     }
   }
-  co_return DeviceResult{service, 0};
+  co_return DeviceResult{service, 0, seq};
+}
+
+Task<DeviceResult> BlockDevice::Execute(const DeviceRequest& req) {
+  co_return co_await ServiceCommand(req);
+}
+
+Task<DeviceResult> BlockDevice::ExecuteQueued(const DeviceRequest& req) {
+  if (!pumps_started_) {
+    pumps_started_ = true;
+    int channels = service_channels();
+    for (int c = 0; c < channels; ++c) {
+      Simulator::current().Spawn(ServicePump());
+    }
+  }
+  while (queued_outstanding_ >= queue_depth_) {
+    co_await slot_freed_.Wait();
+  }
+  ++queued_outstanding_;
+  QueuedCmd cmd;
+  cmd.req = req;
+  cmd_queue_.push_back(&cmd);
+  cmd_arrived_.NotifyOne();
+  co_await cmd.done.Wait();
+  --queued_outstanding_;
+  slot_freed_.NotifyOne();
+  if (queued_outstanding_ == 0) {
+    queue_drained_.NotifyAll();
+  }
+  co_return cmd.result;
+}
+
+Task<void> BlockDevice::ServicePump() {
+  for (;;) {
+    if (cmd_queue_.empty()) {
+      co_await cmd_arrived_.Wait();
+      continue;
+    }
+    size_t pick = SelectQueuedCommand(cmd_queue_);
+    QueuedCmd* cmd = cmd_queue_[pick];
+    cmd_queue_.erase(cmd_queue_.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+    // The command's frame (in ExecuteQueued) stays alive until done fires;
+    // never touch *cmd after Set().
+    cmd->result = co_await ServiceCommand(cmd->req);
+    cmd->done.Set();
+  }
 }
 
 Task<Nanos> BlockDevice::Flush() {
+  // Barrier semantics across the command queue: a flush orders every
+  // *completed* write onto media, so all in-service and queued commands
+  // must retire first (otherwise a write completing mid-flush could be
+  // marked durable without having been flushed). The legacy serial path
+  // never has outstanding commands here, so it takes no extra awaits.
+  while (queued_outstanding_ > 0) {
+    co_await queue_drained_.Wait();
+  }
   Nanos service = co_await FlushModel();
   busy_time_ += service;
   ++flushes_;
@@ -41,6 +97,20 @@ Task<Nanos> BlockDevice::Flush() {
   durable_seq_ = write_seq_;
   volatile_writes_.clear();
   co_return service;
+}
+
+size_t HddModel::SelectQueuedCommand(
+    const std::deque<QueuedCmd*>& queue) const {
+  size_t best = 0;
+  Nanos best_cost = kNanosMax;
+  for (size_t i = 0; i < queue.size(); ++i) {
+    Nanos cost = EstimateCost(queue[i]->req);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  return best;
 }
 
 Nanos HddModel::ServiceTime(const DeviceRequest& req, uint64_t head) const {

@@ -1,11 +1,17 @@
 // Storage device models.
 //
-// `BlockDevice` executes one request at a time (queue depth 1) and advances
-// simulated time by the modeled service time. The two models correspond to
-// the paper's testbed: a 7200 RPM hard disk (WD AAKX class) and an early
-// SATA SSD (Intel X25-M class). Absolute numbers are approximate; what the
-// experiments rely on is the *ratio* between sequential and random I/O cost,
-// which these models preserve.
+// `BlockDevice` offers two execution contracts:
+//  - `Execute` services one request at a time (queue depth 1), the
+//    historical serial contract every figure bench was calibrated against;
+//  - `ExecuteQueued` admits up to `queue_depth()` outstanding commands and
+//    serves them by the model's own selection policy — NCQ-style
+//    shortest-positioning-time for the HDD, FIFO across `channels` parallel
+//    flash channels for the SSD. The blk-mq block layer dispatches through
+//    this path.
+// The two models correspond to the paper's testbed: a 7200 RPM hard disk
+// (WD AAKX class) and an early SATA SSD (Intel X25-M class). Absolute
+// numbers are approximate; what the experiments rely on is the *ratio*
+// between sequential and random I/O cost, which these models preserve.
 //
 // The base class additionally models *persistence*: with the volatile write
 // cache enabled, a completed write is merely "written" — it becomes durable
@@ -20,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "src/sim/sync.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
 
@@ -39,6 +46,11 @@ struct DeviceRequest {
 struct DeviceResult {
   Nanos service = 0;
   int error = 0;
+  // Media sequence number assigned when a write completes (0 for reads and
+  // failed writes). Completion consumers use it to correlate a request with
+  // the device's persistence log even when commands retire out of
+  // submission order (queue depth > 1).
+  uint64_t write_seq = 0;
 };
 
 // Pluggable fault model consulted before each request is serviced
@@ -67,11 +79,33 @@ class BlockDevice {
   virtual ~BlockDevice() = default;
 
   // Services the request, advancing simulated time. Non-virtual: wraps the
-  // model with fault injection and persistence bookkeeping.
+  // model with fault injection and persistence bookkeeping. Serial
+  // contract: the caller awaits completion before issuing the next request
+  // (the legacy single-queue dispatch loop).
   Task<DeviceResult> Execute(const DeviceRequest& req);
 
-  // Flushes the device write cache (barrier): every previously completed
-  // write becomes durable. Returns the service time.
+  // --- Command queuing (blk-mq dispatch path) ---
+  // Number of commands the device accepts concurrently (NCQ depth / NVMe
+  // queue slots). Depth 1, the default, keeps the historical serial
+  // behaviour even through the queued path.
+  void set_queue_depth(uint32_t depth) {
+    queue_depth_ = depth > 0 ? depth : 1;
+  }
+  uint32_t queue_depth() const { return queue_depth_; }
+
+  // Queued submission: waits for a queue slot, then for the command's
+  // completion. Outstanding commands are served by the model's selection
+  // policy (HDD: shortest positioning time among queued commands; SSD:
+  // FIFO onto the first idle flash channel). Safe to call from many
+  // coroutines concurrently.
+  Task<DeviceResult> ExecuteQueued(const DeviceRequest& req);
+
+  // Commands admitted through ExecuteQueued but not yet completed.
+  uint32_t queued_outstanding() const { return queued_outstanding_; }
+
+  // Flushes the device write cache (barrier): drains every outstanding
+  // queued command, then every previously completed write becomes durable.
+  // Returns the service time.
   Task<Nanos> Flush();
 
   // Cost estimate for scheduling decisions; does not change device state.
@@ -113,7 +147,37 @@ class BlockDevice {
   virtual Task<Nanos> ExecuteModel(const DeviceRequest& req) = 0;
   virtual Task<Nanos> FlushModel() = 0;
 
+  // One command admitted through ExecuteQueued, waiting for service.
+  struct QueuedCmd {
+    DeviceRequest req;
+    DeviceResult result;
+    Latch done;
+  };
+
+  // How many commands the model can service concurrently (SSD: flash
+  // channels). The queued path runs this many service pumps.
+  virtual int service_channels() const { return 1; }
+
+  // Picks which queued command an idle pump services next (index into
+  // `queue`, never empty). Base policy is FIFO; the HDD overrides it with
+  // shortest-positioning-time selection among the outstanding commands
+  // (NCQ). Starvation of far commands is possible, as on real NCQ drives.
+  virtual size_t SelectQueuedCommand(
+      const std::deque<QueuedCmd*>& queue) const {
+    (void)queue;
+    return 0;
+  }
+
  private:
+  // Shared service body: fault injection, the model, traffic accounting,
+  // and persistence bookkeeping. Both Execute and the queued pumps go
+  // through here (nested task awaits are symmetric transfers, so the
+  // indirection adds no simulator events).
+  Task<DeviceResult> ServiceCommand(const DeviceRequest& req);
+  // One service pump: repeatedly selects and services queued commands.
+  // `service_channels()` pumps run concurrently in the queued path.
+  Task<void> ServicePump();
+
   void RecordTraffic(const DeviceRequest& req, Nanos service) {
     if (req.is_write) {
       bytes_written_ += req.bytes;
@@ -133,6 +197,15 @@ class BlockDevice {
   uint64_t flushes_ = 0;
   std::deque<WriteRecord> volatile_writes_;
   DeviceFaultHook* fault_hook_ = nullptr;
+
+  // --- Command queue state (ExecuteQueued path only) ---
+  uint32_t queue_depth_ = 1;
+  uint32_t queued_outstanding_ = 0;  // admitted: queued or in service
+  bool pumps_started_ = false;
+  std::deque<QueuedCmd*> cmd_queue_;  // admitted, awaiting a pump
+  Event cmd_arrived_;
+  Event slot_freed_;
+  Event queue_drained_;  // notified when queued_outstanding_ reaches 0
 };
 
 struct HddConfig {
@@ -165,6 +238,10 @@ class HddModel : public BlockDevice {
  protected:
   Task<Nanos> ExecuteModel(const DeviceRequest& req) override;
   Task<Nanos> FlushModel() override;
+  // NCQ: among the outstanding commands, serve the one with the shortest
+  // positioning time from the current head position.
+  size_t SelectQueuedCommand(
+      const std::deque<QueuedCmd*>& queue) const override;
 
  private:
   Nanos ServiceTime(const DeviceRequest& req, uint64_t head) const;
@@ -183,6 +260,11 @@ struct SsdConfig {
   Nanos write_latency = Usec(90);
   // Random (non-contiguous) writes pay a modest FTL penalty.
   double random_write_penalty = 2.0;
+  // Independent flash channels: commands on different channels are serviced
+  // concurrently. Only the queued (blk-mq) dispatch path can exploit more
+  // than one channel; the serial Execute contract never has two commands
+  // outstanding. 1 preserves the historical single-stream behaviour.
+  int channels = 1;
 };
 
 class SsdModel : public BlockDevice {
@@ -199,6 +281,9 @@ class SsdModel : public BlockDevice {
  protected:
   Task<Nanos> ExecuteModel(const DeviceRequest& req) override;
   Task<Nanos> FlushModel() override;
+  int service_channels() const override {
+    return config_.channels > 0 ? config_.channels : 1;
+  }
 
  private:
   Nanos ServiceTime(const DeviceRequest& req, uint64_t last_end) const;

@@ -17,7 +17,7 @@ void CrashMonitor::OnBlockComplete(const BlockRequest& req) {
     return;
   }
   WriteEvent event;
-  event.seq = device_->last_write_seq();
+  event.seq = req.device_seq;
   event.sector = req.sector;
   event.bytes = req.bytes;
   event.ino = req.ino;

@@ -16,10 +16,12 @@
 // crash RNG stream. The checker (crash_checker.h) replays the journal
 // against the image and asserts the ordered-mode invariants.
 //
-// Correlation assumption: the device has queue depth 1 and the completion
-// hook runs synchronously at dispatch, so `device->last_write_seq()` inside
-// the hook is exactly this request's media write. Merged children share the
-// container's sequence number (they were one device write).
+// Correlation: the device stamps each media write's completion sequence
+// number into DeviceResult::write_seq and the block layer copies it to
+// BlockRequest::device_seq, so the hook reads the request's own sequence
+// number directly — valid at any command-queue depth and hardware-queue
+// count. Merged children share the container's sequence number (they were
+// one device write).
 #ifndef SRC_FAULT_CRASH_MONITOR_H_
 #define SRC_FAULT_CRASH_MONITOR_H_
 

@@ -135,6 +135,11 @@ CrashSweepResult RunCrashSweep(const CrashSweepOptions& options) {
   config.layout.durability_barriers = options.durability_barriers;
   config.journal.buggy_skip_preflush = options.buggy_skip_preflush;
   config.journal.commit_interval = Sec(1);
+  if (options.mq_hw_queues > 1 || options.mq_queue_depth > 1) {
+    config.mq.enabled = true;
+    config.mq.nr_hw_queues = std::max(1, options.mq_hw_queues);
+    config.mq.queue_depth = std::max(1, options.mq_queue_depth);
+  }
   // Give flushes a visible (but modest) cost so barrier traffic exercises
   // the elevators rather than completing for free.
   config.hdd.flush_latency = Usec(500);

@@ -47,6 +47,11 @@ struct CrashSweepOptions {
   // Test-only jbd2 bug: commit record written without the pre-record
   // barrier (ext4 only). The checker must catch this.
   bool buggy_skip_preflush = false;
+  // Block-layer queue topology. Values > 1 enable blk-mq with that many
+  // hardware dispatch contexts / that command-queue depth, so crash
+  // exploration also covers reordering from concurrent device commands.
+  int mq_hw_queues = 1;
+  int mq_queue_depth = 1;
 };
 
 const char* CrashSweepSchedName(CrashSweepOptions::Sched sched);

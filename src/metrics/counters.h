@@ -30,6 +30,25 @@ struct Counters {
   uint64_t device_flushes = 0;
   uint64_t faults_injected = 0;
   uint64_t wb_errors = 0;
+
+  // Field-wise `*this - earlier`. Counters only grow, so snapshotting before
+  // a stack runs and subtracting afterwards attributes activity to that
+  // stack even though the globals accumulate across the whole binary.
+  Counters Delta(const Counters& earlier) const {
+    Counters d;
+    d.sim_events = sim_events - earlier.sim_events;
+    d.sim_immediate = sim_immediate - earlier.sim_immediate;
+    d.cache_lookups = cache_lookups - earlier.cache_lookups;
+    d.cache_hits = cache_hits - earlier.cache_hits;
+    d.pages_dirtied = pages_dirtied - earlier.pages_dirtied;
+    d.block_submitted = block_submitted - earlier.block_submitted;
+    d.block_merged = block_merged - earlier.block_merged;
+    d.block_completed = block_completed - earlier.block_completed;
+    d.device_flushes = device_flushes - earlier.device_flushes;
+    d.faults_injected = faults_injected - earlier.faults_injected;
+    d.wb_errors = wb_errors - earlier.wb_errors;
+    return d;
+  }
 };
 
 // Process-global counters (single-threaded simulation; no synchronization).

@@ -63,6 +63,40 @@ TEST(CrashSweep, SplitDeadlineExt4Ssd) {
   ExpectClean(options);
 }
 
+// blk-mq topologies: with several hardware contexts and a deep device
+// command queue, writes complete out of dispatch order — the flush barrier
+// must still give jbd2 (ext4) and XFS their ordering points.
+CrashSweepOptions WithMq(CrashSweepOptions options, int hw, int depth) {
+  options.mq_hw_queues = hw;
+  options.mq_queue_depth = depth;
+  return options;
+}
+
+TEST(CrashSweep, MqSplitTokenExt4Ssd) {
+  CrashSweepOptions options = WithMq(Base(Sched::kSplitToken, false), 2, 4);
+  options.ssd = true;
+  ExpectClean(options);
+}
+
+TEST(CrashSweep, MqSplitTokenXfs) {
+  ExpectClean(WithMq(Base(Sched::kSplitToken, true), 2, 4));
+}
+
+TEST(CrashSweep, MqSplitDeadlineExt4) {
+  ExpectClean(WithMq(Base(Sched::kSplitDeadline, false), 4, 8));
+}
+
+TEST(CrashSweep, MqSplitDeadlineXfsHddNcq) {
+  // HDD with NCQ-style shortest-positioning selection under XFS.
+  ExpectClean(WithMq(Base(Sched::kSplitDeadline, true), 2, 8));
+}
+
+TEST(CrashSweep, MqCfqExt4QueueDepth) {
+  // Single-queue elevator: collapses to one hardware context, but the
+  // device command queue still runs at depth 4.
+  ExpectClean(WithMq(Base(Sched::kCfq, false), 2, 4));
+}
+
 // Transient EIO + latency spikes running alongside crash exploration: failed
 // fsyncs promise nothing, successful ones must still hold.
 TEST(CrashSweep, ConsistentUnderTransientFaults) {

@@ -50,6 +50,10 @@ struct BenchResult {
   // preserved verbatim (key -> value).
   std::vector<std::pair<std::string, double>> counters;
   std::vector<std::pair<std::string, double>> metrics;
+  // Per-stack counter deltas (label -> flat counter object), present only
+  // when the bench recorded them (bench/common/report.h "per_stack").
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      per_stack;
 };
 
 double MonotonicMs() {
@@ -148,6 +152,42 @@ std::vector<std::pair<std::string, double>> ParseFlatObject(
   return pairs;
 }
 
+// Parses `"per_stack":{"label":{flat},...}` at/after `from`: one level of
+// nesting, each inner object flat (the layout bench/common/report.h emits).
+std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+ParsePerStack(const std::string& s, size_t from) {
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      stacks;
+  std::string needle = "\"per_stack\":{";
+  size_t pos = s.find(needle, from);
+  if (pos == std::string::npos) {
+    return stacks;
+  }
+  pos += needle.size();
+  while (pos < s.size() && s[pos] == '"') {
+    size_t label_end = s.find('"', pos + 1);
+    if (label_end == std::string::npos) {
+      break;
+    }
+    std::string label = s.substr(pos + 1, label_end - pos - 1);
+    size_t brace = s.find('{', label_end);
+    if (brace == std::string::npos) {
+      break;
+    }
+    size_t close = s.find('}', brace);
+    if (close == std::string::npos) {
+      break;
+    }
+    // Reuse the flat-object parser on the inner "<label>":{...} span.
+    stacks.emplace_back(label, ParseFlatObject(s, label, pos));
+    pos = close + 1;
+    if (pos < s.size() && s[pos] == ',') {
+      ++pos;
+    }
+  }
+  return stacks;
+}
+
 void ParseBenchJson(const std::string& output, BenchResult* r) {
   // Use the last BENCHJSON line in case the bench printed one mid-run.
   size_t pos = output.rfind("BENCHJSON ");
@@ -161,6 +201,7 @@ void ParseBenchJson(const std::string& output, BenchResult* r) {
   FindNumber(line, "events_processed", &r->events_processed);
   r->counters = ParseFlatObject(line, "counters", 0);
   r->metrics = ParseFlatObject(line, "metrics", 0);
+  r->per_stack = ParsePerStack(line, 0);
 }
 
 bool RunOne(const std::string& path, const std::string& outdir,
@@ -226,7 +267,22 @@ void WriteJson(const std::string& out_path,
       std::fprintf(f, "%s\"%s\":%.17g", j > 0 ? "," : "",
                    r.metrics[j].first.c_str(), r.metrics[j].second);
     }
-    std::fprintf(f, "}}%s\n", i + 1 < results.size() ? "," : "");
+    std::fprintf(f, "}");
+    if (!r.per_stack.empty()) {
+      std::fprintf(f, ",\"per_stack\":{");
+      for (size_t j = 0; j < r.per_stack.size(); ++j) {
+        std::fprintf(f, "%s\"%s\":{", j > 0 ? "," : "",
+                     r.per_stack[j].first.c_str());
+        const auto& pairs = r.per_stack[j].second;
+        for (size_t k = 0; k < pairs.size(); ++k) {
+          std::fprintf(f, "%s\"%s\":%.0f", k > 0 ? "," : "",
+                       pairs[k].first.c_str(), pairs[k].second);
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
