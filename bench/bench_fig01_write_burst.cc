@@ -20,6 +20,7 @@ struct Result {
 };
 
 Result Run(SchedKind kind) {
+  StackCounterScope scope(SchedName(kind));
   Simulator sim;
   BundleOptions opt;
   opt.stack.cache.total_ram = 4ULL << 30;

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace splitio;
   PrintTitle("Figure 3: CFQ vs. buffered-write priorities (8 async writers)");
 
+  StackCounterScope scope(SchedName(SchedKind::kCfq));
   Simulator sim;
   BundleOptions opt;
   opt.stack.cache.total_ram = 2ULL << 30;

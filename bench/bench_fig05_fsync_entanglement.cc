@@ -18,6 +18,8 @@ struct Row {
 };
 
 Row RunOne(uint64_t n_bytes) {
+  StackCounterScope scope(std::string(SchedName(SchedKind::kBlockDeadline)) +
+                          "/" + HumanBytes(n_bytes));
   Simulator sim;
   BundleOptions opt;
   opt.block_deadline.read_expiry = Msec(20);

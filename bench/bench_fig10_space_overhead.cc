@@ -17,6 +17,9 @@ struct Row {
 };
 
 Row Run(double dirty_ratio) {
+  StackCounterScope scope(
+      std::string(SchedName(SchedKind::kSplitToken)) + "/dirty" +
+      std::to_string(static_cast<int>(dirty_ratio * 100)));
   TagMemoryAccountant::Instance().Reset();
   Simulator sim;
   BundleOptions opt;

@@ -47,7 +47,19 @@ Shares ComputeShares(const std::vector<WorkloadStats>& stats, Nanos dur,
 
 enum class Mode { kSeqRead, kAsyncWrite, kSyncRandWrite, kMemory };
 
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kSeqRead: return "seq-read";
+    case Mode::kAsyncWrite: return "async-write";
+    case Mode::kSyncRandWrite: return "sync-rand-write";
+    case Mode::kMemory: return "memory";
+  }
+  return "?";
+}
+
 Shares Run(SchedKind kind, Mode mode) {
+  StackCounterScope scope(std::string(SchedName(kind)) + "/" +
+                          ModeName(mode));
   Simulator sim;
   BundleOptions opt;
   opt.stack.cache.total_ram = 2ULL << 30;

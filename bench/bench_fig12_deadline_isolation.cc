@@ -19,6 +19,8 @@ struct Outcome {
 };
 
 Outcome Run(SchedKind kind, bool ssd) {
+  StackCounterScope scope(std::string(SchedName(kind)) +
+                          (ssd ? "/ssd" : "/hdd"));
   Simulator sim;
   BundleOptions opt;
   if (ssd) {

@@ -31,18 +31,12 @@ int main(int argc, char** argv) {
     IsolationParams p;
     p.b_rate = 1.0 * 1024 * 1024;
     p.b_workload = w;
+    // RunIsolation scopes each run's counters (and trace label) itself,
+    // under "<sched>/<workload>".
     p.sched = SchedKind::kScsToken;
-    IsolationResult scs;
-    {
-      StackCounterScope scope(std::string("scs-token/") + BWorkloadName(w));
-      scs = RunIsolation(p);
-    }
+    IsolationResult scs = RunIsolation(p);
     p.sched = SchedKind::kSplitToken;
-    IsolationResult split;
-    {
-      StackCounterScope scope(std::string("split-token/") + BWorkloadName(w));
-      split = RunIsolation(p);
-    }
+    IsolationResult split = RunIsolation(p);
     auto slowdown = [&](double a_mbps) {
       return 100.0 * (1.0 - a_mbps / a_alone);
     };

@@ -13,6 +13,8 @@ namespace splitio {
 namespace {
 
 double RunSpin(int threads) {
+  StackCounterScope scope(std::string(SchedName(SchedKind::kSplitToken)) +
+                          "/spin/t" + std::to_string(threads));
   Simulator sim;
   BundleOptions opt;
   opt.cores = 32;
@@ -44,6 +46,8 @@ double RunB(BWorkload w, int threads) {
   p.duration = Sec(20);
   IsolationParams* pp = &p;
   (void)pp;
+  StackCounterScope scope(std::string(SchedName(p.sched)) + "/" +
+                          BWorkloadName(w) + "/t" + std::to_string(threads));
   // 32 cores, like the paper's CloudLab node.
   Simulator sim;
   BundleOptions opt;

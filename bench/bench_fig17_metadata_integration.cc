@@ -18,6 +18,10 @@ struct Row {
 };
 
 Row Run(StackConfig::FsKind fs, Nanos sleep) {
+  StackCounterScope scope(
+      std::string(SchedName(SchedKind::kSplitToken)) +
+      (fs == StackConfig::FsKind::kXfs ? "/xfs" : "/ext4") + "/sleep" +
+      std::to_string(static_cast<long long>(ToMillis(sleep))) + "ms");
   Simulator sim;
   BundleOptions opt;
   opt.stack.fs = fs;

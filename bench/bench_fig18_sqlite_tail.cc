@@ -21,6 +21,8 @@ struct Row {
 };
 
 Row Run(SchedKind kind, uint64_t threshold) {
+  StackCounterScope scope(std::string(SchedName(kind)) + "/thr" +
+                          std::to_string(threshold));
   Simulator sim;
   BundleOptions opt;
   // The checkpoint threshold is the policy under test: keep the kernel

@@ -20,6 +20,10 @@ struct Cdf {
 };
 
 Cdf Run(SchedKind kind, bool own_writeback) {
+  StackCounterScope scope(
+      kind == SchedKind::kSplitDeadline && !own_writeback
+          ? std::string("split-pdflush")
+          : std::string(SchedName(kind)));
   Simulator sim;
   BundleOptions opt;
   opt.stack.device = StackConfig::DeviceKind::kSsd;

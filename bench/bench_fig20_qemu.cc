@@ -19,6 +19,8 @@ struct Outcome {
 
 Outcome Run(SchedKind kind, BWorkload w, double a_alone_hint) {
   (void)a_alone_hint;
+  StackCounterScope scope(std::string(SchedName(kind)) + "/vm-" +
+                          BWorkloadName(w));
   Simulator sim;
   BundleOptions opt;
   opt.cores = 4;  // the paper's 4-core 8 GB QEMU host

@@ -21,6 +21,9 @@ struct Row {
 };
 
 Row Run(double cap_mbps, uint64_t block_bytes) {
+  StackCounterScope scope(std::string(SchedName(SchedKind::kSplitToken)) +
+                          "/dfs-" + HumanBytes(block_bytes) + "/cap" +
+                          std::to_string(static_cast<int>(cap_mbps)));
   Simulator sim;
   DfsCluster::Config config;
   config.block_bytes = block_bytes;

@@ -5,29 +5,54 @@
 // re-randomizes all workloads coherently. Without the flag the override is 0
 // and every bench reproduces its historical, bit-identical run. The active
 // seed is echoed in the BENCHJSON line (report.h) for provenance.
+//
+// `--trace PATH` enables cross-layer tracing (src/obs) and writes one span
+// per completed block request to PATH as JSONL (readable by
+// tools/trace_stats); `--trace-events PATH` additionally dumps the raw
+// event stream. Tracing also appends per-layer / per-cause latency
+// percentiles to the BENCHJSON line. Without these flags no listener is
+// attached and the run is identical to an untraced one.
 #ifndef BENCH_COMMON_FLAGS_H_
 #define BENCH_COMMON_FLAGS_H_
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "src/obs/trace_global.h"
 #include "src/sim/random.h"
 
 namespace splitio {
 
 inline void ParseBenchFlags(int argc, char** argv) {
+  std::string trace_path;
+  std::string trace_events_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
       SetGlobalSeed(std::strtoull(argv[++i], nullptr, 0));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       SetGlobalSeed(std::strtoull(arg + 7, nullptr, 0));
+    } else if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path = arg + 8;
+    } else if (std::strcmp(arg, "--trace-events") == 0 && i + 1 < argc) {
+      trace_events_path = argv[++i];
+    } else if (std::strncmp(arg, "--trace-events=", 15) == 0) {
+      trace_events_path = arg + 15;
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf("usage: %s [--seed N]\n", argv[0]);
+      std::printf(
+          "usage: %s [--seed N] [--trace SPANS.jsonl]"
+          " [--trace-events EVENTS.jsonl]\n",
+          argv[0]);
       std::exit(0);
     }
     // Unknown flags are ignored so wrappers can pass their own through.
+  }
+  if (!trace_path.empty() || !trace_events_path.empty()) {
+    obs::EnableGlobalTrace(trace_path, trace_events_path);
   }
 }
 

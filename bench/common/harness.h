@@ -12,6 +12,7 @@
 
 #include "bench/common/report.h"
 #include "src/block/block_deadline.h"
+#include "src/obs/trace_sink.h"
 #include "src/block/cfq.h"
 #include "src/block/noop.h"
 #include "src/core/storage_stack.h"
@@ -123,14 +124,19 @@ inline Bundle MakeBundle(SchedKind kind, BundleOptions opt = BundleOptions()) {
 //
 //   { StackCounterScope scope(SchedName(kind));
 //     Bundle b = MakeBundle(kind, opt); ... run ... }
+//
+// The scope also pushes `label` onto the trace label registry, so when the
+// binary runs with --trace every event (and span) emitted inside it is
+// tagged with the scheduler under test.
 struct StackCounterScope {
   explicit StackCounterScope(std::string label_in)
-      : label(std::move(label_in)), before(counters()) {}
+      : label(std::move(label_in)), trace_label(label), before(counters()) {}
   ~StackCounterScope() { ReportStackCounters(label, counters().Delta(before)); }
   StackCounterScope(const StackCounterScope&) = delete;
   StackCounterScope& operator=(const StackCounterScope&) = delete;
 
   std::string label;
+  obs::ScopedTraceLabel trace_label;
   Counters before;
 };
 

@@ -52,6 +52,17 @@ struct IsolationParams {
 
 // Runs A (unthrottled sequential reader over a 8 GB file) against B.
 inline IsolationResult RunIsolation(const IsolationParams& params) {
+  // One per_stack entry (and trace label) per configuration run: scheduler,
+  // B's workload, and — for the run-size sweeps, which revisit the same
+  // workload at many sizes — the run size.
+  std::string scope_label =
+      std::string(SchedName(params.sched)) + "/" +
+      BWorkloadName(params.b_workload);
+  if (params.b_workload == BWorkload::kRunSizeRead ||
+      params.b_workload == BWorkload::kRunSizeWrite) {
+    scope_label += "/" + HumanBytes(params.run_bytes);
+  }
+  StackCounterScope scope(scope_label);
   Simulator sim;
   BundleOptions opt;
   opt.stack.fs = params.fs;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/metrics/counters.h"
+#include "src/obs/trace_global.h"
 #include "src/sim/random.h"
 
 namespace splitio {
@@ -44,24 +45,32 @@ inline void PrintCountersObject(const Counters& c) {
       "{\"sim_events\":%llu,\"sim_immediate\":%llu,"
       "\"cache_lookups\":%llu,\"cache_hits\":%llu,\"pages_dirtied\":%llu,"
       "\"block_submitted\":%llu,\"block_merged\":%llu,"
-      "\"block_completed\":%llu}",
+      "\"block_completed\":%llu,\"device_flushes\":%llu,"
+      "\"faults_injected\":%llu,\"wb_errors\":%llu,"
+      "\"journal_commits\":%llu,\"wb_pages_flushed\":%llu,"
+      "\"mq_kicks\":%llu}",
       u(c.sim_events), u(c.sim_immediate), u(c.cache_lookups), u(c.cache_hits),
       u(c.pages_dirtied), u(c.block_submitted), u(c.block_merged),
-      u(c.block_completed));
+      u(c.block_completed), u(c.device_flushes), u(c.faults_injected),
+      u(c.wb_errors), u(c.journal_commits), u(c.wb_pages_flushed),
+      u(c.mq_kicks));
 }
 
 inline void PrintJsonLine() {
+  // If the binary was run with --trace, fold the captured events into spans
+  // now: writes the JSONL file(s) and appends the per-layer / per-cause
+  // percentile metrics. A tracing-off run appends nothing here, keeping the
+  // line deterministic.
+  for (auto& metric : obs::FinalizeGlobalTrace()) {
+    Metrics().push_back(std::move(metric));
+  }
   const Counters& c = counters();
   auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
-  std::printf(
-      "BENCHJSON {\"events_processed\":%llu,\"seed\":%llu,"
-      "\"counters\":{\"sim_events\":%llu,\"sim_immediate\":%llu,"
-      "\"cache_lookups\":%llu,\"cache_hits\":%llu,\"pages_dirtied\":%llu,"
-      "\"block_submitted\":%llu,\"block_merged\":%llu,"
-      "\"block_completed\":%llu},\"metrics\":{",
-      u(c.sim_events), u(GlobalSeed()), u(c.sim_events), u(c.sim_immediate),
-      u(c.cache_lookups), u(c.cache_hits), u(c.pages_dirtied),
-      u(c.block_submitted), u(c.block_merged), u(c.block_completed));
+  std::printf("BENCHJSON {\"events_processed\":%llu,\"seed\":%llu,"
+              "\"counters\":",
+              u(c.sim_events), u(GlobalSeed()));
+  PrintCountersObject(c);
+  std::printf(",\"metrics\":{");
   const auto& metrics = Metrics();
   for (size_t i = 0; i < metrics.size(); ++i) {
     std::printf("%s\"%s\":%.17g", i > 0 ? "," : "", metrics[i].first.c_str(),

@@ -1,10 +1,44 @@
 #include "src/block/block_layer.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/metrics/counters.h"
+#include "src/obs/trace_sink.h"
 
 namespace splitio {
+
+namespace {
+
+// Builds a trace event carrying the request's identity. Only called under
+// obs::TracingActive().
+obs::TraceEvent RequestEvent(obs::EventType type, const BlockRequest& req) {
+  obs::TraceEvent e;
+  e.type = type;
+  e.request_id = req.request_id;
+  e.pid = req.submitter != nullptr ? req.submitter->pid() : -1;
+  e.ino = req.ino;
+  e.sector = req.sector;
+  e.bytes = req.bytes;
+  if (req.is_write) {
+    e.flags |= obs::kFlagWrite;
+  }
+  if (req.is_sync) {
+    e.flags |= obs::kFlagSync;
+  }
+  if (req.is_journal) {
+    e.flags |= obs::kFlagJournal;
+  }
+  if (req.is_flush) {
+    e.flags |= obs::kFlagFlush;
+  }
+  e.aux = req.journal_tid;
+  e.t_aux = req.cache_first_dirty;
+  e.causes = req.causes.pids();
+  return e;
+}
+
+}  // namespace
 
 void BlockLayer::Start() {
   if (!mq_.enabled) {
@@ -39,6 +73,7 @@ int BlockLayer::MapSubmitterToHw(int32_t pid) const {
 
 void BlockLayer::Submit(BlockRequestPtr req) {
   req->enqueue_time = Simulator::current().Now();
+  req->request_id = obs::AllocRequestId();
   if (req->submitter != nullptr) {
     int p = req->submitter->priority();
     if (p >= 0 && p < 8) {
@@ -51,7 +86,13 @@ void BlockLayer::Submit(BlockRequestPtr req) {
     if (elevator_->TryMerge(req)) {
       ++total_merged_;
       ++counters().block_merged;
+      if (obs::TracingActive()) {
+        obs::EmitEvent(RequestEvent(obs::EventType::kElvMerge, *req));
+      }
       return;  // rides on the container request's completion
+    }
+    if (obs::TracingActive()) {
+      obs::EmitEvent(RequestEvent(obs::EventType::kElvAdd, *req));
     }
     elevator_->Add(std::move(req));
     submit_event_.NotifyAll();
@@ -69,7 +110,11 @@ void BlockLayer::Submit(BlockRequestPtr req) {
   }
   ++it->second.submitted;
   int hw = it->second.hw_queue;
+  if (obs::TracingActive()) {
+    obs::EmitEvent(RequestEvent(obs::EventType::kMqQueue, *req));
+  }
   it->second.fifo.emplace_back(submit_seq_++, std::move(req));
+  ++counters().mq_kicks;
   hw_queues_[static_cast<size_t>(hw)]->kick.NotifyAll();
 }
 
@@ -82,6 +127,14 @@ void BlockLayer::FinishRequest(const BlockRequestPtr& req) {
   ++total_completed_;
   ++counters().block_completed;
   elevator_->OnComplete(*req);
+  if (obs::TracingActive()) {
+    obs::TraceEvent e = RequestEvent(obs::EventType::kBlkComplete, *req);
+    e.t_aux = req->enqueue_time;
+    e.service = req->service_time;
+    e.result = req->result;
+    e.source = this;
+    obs::EmitEvent(std::move(e));
+  }
   for (const CompletionHook& hook : completion_hooks_) {
     hook(*req);
   }
@@ -90,6 +143,14 @@ void BlockLayer::FinishRequest(const BlockRequestPtr& req) {
     child->service_time = req->service_time;
     child->result = req->result;
     child->device_seq = req->device_seq;
+    if (obs::TracingActive()) {
+      obs::TraceEvent e = RequestEvent(obs::EventType::kBlkComplete, *child);
+      e.t_aux = child->enqueue_time;
+      e.service = child->service_time;
+      e.result = child->result;
+      e.source = this;
+      obs::EmitEvent(std::move(e));
+    }
     for (const CompletionHook& hook : completion_hooks_) {
       hook(*child);
     }
@@ -113,6 +174,9 @@ Task<void> BlockLayer::DispatchLoop() {
       }
       continue;
     }
+    if (obs::TracingActive()) {
+      obs::EmitEvent(RequestEvent(obs::EventType::kElvDispatch, *req));
+    }
     if (req->is_flush) {
       req->service_time = co_await device_->Flush();
       req->result = 0;
@@ -122,7 +186,8 @@ Task<void> BlockLayer::DispatchLoop() {
         req->service_time = 0;
         req->result = fault;
       } else {
-        DeviceRequest dreq{req->sector, req->bytes, req->is_write};
+        DeviceRequest dreq{req->sector, req->bytes, req->is_write,
+                           req->request_id};
         DeviceResult res = co_await device_->Execute(dreq);
         req->service_time = res.service;
         req->result = res.error;
@@ -158,7 +223,13 @@ void BlockLayer::DrainSwQueues(int hw) {
     if (elevator_->TryMerge(req)) {
       ++total_merged_;
       ++counters().block_merged;
+      if (obs::TracingActive()) {
+        obs::EmitEvent(RequestEvent(obs::EventType::kElvMerge, *req));
+      }
       continue;
+    }
+    if (obs::TracingActive()) {
+      obs::EmitEvent(RequestEvent(obs::EventType::kElvAdd, *req));
     }
     elevator_->Add(std::move(req));
   }
@@ -171,6 +242,7 @@ void BlockLayer::KickIdleSiblings(int hw) {
     }
     HwQueue& sibling = *hw_queues_[static_cast<size_t>(i)];
     if (sibling.inflight < mq_.queue_depth) {
+      ++counters().mq_kicks;
       sibling.kick.NotifyAll();
     }
   }
@@ -209,6 +281,9 @@ Task<void> BlockLayer::MqDispatchLoop(int hw) {
       }
       continue;
     }
+    if (obs::TracingActive()) {
+      obs::EmitEvent(RequestEvent(obs::EventType::kElvDispatch, *req));
+    }
     if (req->is_flush) {
       co_await MqFlushBarrier(std::move(req));
       continue;
@@ -224,12 +299,18 @@ Task<void> BlockLayer::MqDispatchLoop(int hw) {
 }
 
 Task<void> BlockLayer::MqDispatchOne(int hw, BlockRequestPtr req) {
+  if (obs::TracingActive()) {
+    obs::TraceEvent e = RequestEvent(obs::EventType::kMqIssue, *req);
+    e.aux = static_cast<uint64_t>(hw);
+    obs::EmitEvent(std::move(e));
+  }
   int fault = fault_hook_ ? fault_hook_(*req) : 0;
   if (fault != 0) {
     req->service_time = 0;
     req->result = fault;
   } else {
-    DeviceRequest dreq{req->sector, req->bytes, req->is_write};
+    DeviceRequest dreq{req->sector, req->bytes, req->is_write,
+                       req->request_id};
     DeviceResult res = mq_serial_ ? co_await device_->Execute(dreq)
                                   : co_await device_->ExecuteQueued(dreq);
     req->service_time = res.service;

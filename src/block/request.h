@@ -41,6 +41,16 @@ struct BlockRequest {
   Process* submitter = nullptr;
   CauseSet causes;
 
+  // Process-wide trace identity, assigned by BlockLayer::Submit (1-based;
+  // 0 = never submitted). Threaded into DeviceRequest at dispatch so the
+  // observability layer (src/obs) can join block- and device-level events
+  // into one per-request span.
+  uint64_t request_id = 0;
+  // Earliest dirtied_at among the cached pages this write covers (0 when
+  // unknown or not a buffered write). Only populated while tracing is
+  // active; gives spans their queued-in-cache residency.
+  Nanos cache_first_dirty = 0;
+
   // Logical origin of the request, for crash-consistency bookkeeping
   // (src/fault): the inode and first page index a data write covers, or the
   // transaction/LSN a journal write commits. -1 / 0 when not applicable.

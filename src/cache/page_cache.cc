@@ -77,6 +77,15 @@ Page& PageCache::MarkDirty(Process& dirtier, int64_t ino, uint64_t index) {
       KickWriteback();
     }
   }
+  if (obs::TracingActive()) {
+    obs::TraceEvent e;
+    e.type = obs::EventType::kPageDirty;
+    e.pid = dirtier.pid();
+    e.ino = ino;
+    e.aux = index;
+    e.causes = page.causes.pids();
+    obs::EmitEvent(std::move(e));
+  }
   if (hooks_ != nullptr) {
     hooks_->OnBufferDirty(dirtier, page, was_dirty, *prev);
   }
@@ -94,6 +103,7 @@ void PageCache::MarkWritebackStarted(Page& page) {
   if (!page.dirty) {
     return;
   }
+  ++counters().wb_pages_flushed;
   page.dirty = false;
   page.writeback = true;
   page.causes.Clear();

@@ -23,6 +23,7 @@
 #include "src/core/causes.h"
 #include "src/core/process.h"
 #include "src/device/device.h"
+#include "src/obs/trace_sink.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
 
@@ -172,7 +173,14 @@ class PageCache {
   using FlushFn =
       std::function<Task<uint64_t>(int64_t ino, uint64_t max_pages)>;
   void StartWritebackDaemon(FlushFn flush);
-  void KickWriteback() { writeback_kick_.NotifyAll(); }
+  void KickWriteback() {
+    if (obs::TracingActive()) {
+      obs::TraceEvent e;
+      e.type = obs::EventType::kWbKick;
+      obs::EmitEvent(std::move(e));
+    }
+    writeback_kick_.NotifyAll();
+  }
 
   // Inode with the oldest dirty data, or -1 if nothing is dirty.
   int64_t OldestDirtyInode() const;

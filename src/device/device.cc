@@ -5,11 +5,37 @@
 #include <cstdlib>
 
 #include "src/metrics/counters.h"
+#include "src/obs/trace_sink.h"
 #include "src/sim/simulator.h"
 
 namespace splitio {
 
+namespace {
+
+// Shared body of the dev_start / dev_done / dev_flush trace events. Only
+// called under obs::TracingActive().
+void EmitDeviceEvent(obs::EventType type, const BlockDevice* device,
+                     const DeviceRequest& req, Nanos service, int error) {
+  obs::TraceEvent e;
+  e.type = type;
+  e.source = device;
+  e.request_id = req.request_id;
+  e.sector = req.sector;
+  e.bytes = req.bytes;
+  if (req.is_write) {
+    e.flags |= obs::kFlagWrite;
+  }
+  e.service = service;
+  e.result = error;
+  obs::EmitEvent(std::move(e));
+}
+
+}  // namespace
+
 Task<DeviceResult> BlockDevice::ServiceCommand(const DeviceRequest& req) {
+  if (obs::TracingActive()) {
+    EmitDeviceEvent(obs::EventType::kDevStart, this, req, 0, 0);
+  }
   if (fault_hook_ != nullptr) {
     DeviceFaultHook::Outcome out = fault_hook_->OnDeviceRequest(req);
     if (out.extra_latency > 0) {
@@ -19,6 +45,10 @@ Task<DeviceResult> BlockDevice::ServiceCommand(const DeviceRequest& req) {
     if (out.error != 0) {
       // The request dies in the controller: no media transfer, no
       // persistence state change.
+      if (obs::TracingActive()) {
+        EmitDeviceEvent(obs::EventType::kDevDone, this, req,
+                        out.extra_latency, out.error);
+      }
       co_return DeviceResult{out.extra_latency, out.error, 0};
     }
   }
@@ -31,6 +61,9 @@ Task<DeviceResult> BlockDevice::ServiceCommand(const DeviceRequest& req) {
       volatile_writes_.push_back(WriteRecord{write_seq_, req.sector,
                                              req.bytes});
     }
+  }
+  if (obs::TracingActive()) {
+    EmitDeviceEvent(obs::EventType::kDevDone, this, req, service, 0);
   }
   co_return DeviceResult{service, 0, seq};
 }
@@ -96,6 +129,10 @@ Task<Nanos> BlockDevice::Flush() {
   ++counters().device_flushes;
   durable_seq_ = write_seq_;
   volatile_writes_.clear();
+  if (obs::TracingActive()) {
+    EmitDeviceEvent(obs::EventType::kDevFlush, this, DeviceRequest{}, service,
+                    0);
+  }
   co_return service;
 }
 

@@ -39,6 +39,11 @@ struct DeviceRequest {
   uint64_t sector = 0;
   uint32_t bytes = 0;
   bool is_write = false;
+  // Trace identity of the originating block request (0 = untraced / direct
+  // device access); lets dev_start/dev_done events correlate with the
+  // block-level span. Deliberately last so existing three-field aggregate
+  // initializers keep compiling.
+  uint64_t request_id = 0;
 };
 
 // Outcome of a device request: modeled service time plus an errno-style

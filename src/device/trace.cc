@@ -5,20 +5,35 @@
 namespace splitio {
 
 void IoTracer::Attach(BlockLayer* block) {
-  block->add_completion_hook([this](const BlockRequest& req) {
-    TraceEntry entry;
-    entry.enqueue_time = req.enqueue_time;
-    entry.complete_time = Simulator::current().Now();
-    entry.sector = req.sector;
-    entry.bytes = req.bytes;
-    entry.is_write = req.is_write;
-    entry.is_journal = req.is_journal;
-    entry.is_flush = req.is_flush;
-    entry.service_time = req.service_time;
-    entry.submitter = req.submitter != nullptr ? req.submitter->pid() : -1;
-    entry.causes = req.causes.pids();
-    entries_.push_back(std::move(entry));
-  });
+  Detach();
+  block_ = block;
+  obs::AttachListener(this);
+}
+
+void IoTracer::Detach() {
+  if (block_ == nullptr) {
+    return;
+  }
+  obs::DetachListener(this);
+  block_ = nullptr;
+}
+
+void IoTracer::OnEvent(const obs::TraceEvent& event) {
+  if (event.type != obs::EventType::kBlkComplete || event.source != block_) {
+    return;
+  }
+  TraceEntry entry;
+  entry.enqueue_time = event.t_aux;
+  entry.complete_time = event.time;
+  entry.sector = event.sector;
+  entry.bytes = event.bytes;
+  entry.is_write = (event.flags & obs::kFlagWrite) != 0;
+  entry.is_journal = (event.flags & obs::kFlagJournal) != 0;
+  entry.is_flush = (event.flags & obs::kFlagFlush) != 0;
+  entry.service_time = event.service;
+  entry.submitter = event.pid;
+  entry.causes = event.causes;
+  entries_.push_back(std::move(entry));
 }
 
 void IoTracer::WriteCsv(std::ostream& out) const {

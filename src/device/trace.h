@@ -1,9 +1,12 @@
 // Block-level I/O trace recorder.
 //
-// Attaches to a BlockLayer's completion hook and records one entry per
-// completed request: timestamps, location, size, direction, flags, service
-// time, and the cause set. Traces can be dumped as CSV for offline analysis
-// or summarized in-process (per-cause device time, sequentiality).
+// A thin view over the cross-layer tracing subsystem (src/obs): IoTracer
+// attaches as a TraceSink-style listener and keeps one entry per completed
+// request of one BlockLayer — the classic blktrace-like completion log.
+// Traces can be dumped as CSV for offline analysis or summarized in-process
+// (per-cause device time, sequentiality). For full lifecycle records with
+// per-layer residency, use obs::TraceSink + obs::BuildSpans instead; this
+// class remains for the completion-log use case and its CSV format.
 #ifndef SRC_DEVICE_TRACE_H_
 #define SRC_DEVICE_TRACE_H_
 
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "src/block/block_layer.h"
+#include "src/obs/trace_sink.h"
 #include "src/sim/time.h"
 
 namespace splitio {
@@ -31,11 +35,22 @@ struct TraceEntry {
   std::vector<int32_t> causes;
 };
 
-class IoTracer {
+class IoTracer : public obs::TraceListener {
  public:
-  // Starts recording completions from `block`. Replaces any existing
-  // completion hook, chaining to it so split schedulers keep working.
+  IoTracer() = default;
+  ~IoTracer() override { Detach(); }
+  IoTracer(const IoTracer&) = delete;
+  IoTracer& operator=(const IoTracer&) = delete;
+
+  // Starts recording completions from `block` (replacing any previous
+  // attachment). Implemented as an obs listener filtered on that block
+  // layer's blk_complete events — nothing is installed in the block layer
+  // itself, so split-scheduler completion hooks are untouched.
   void Attach(BlockLayer* block);
+
+  // Stops recording (keeps accumulated entries). Safe when not attached.
+  void Detach();
+  bool attached() const { return block_ != nullptr; }
 
   const std::vector<TraceEntry>& entries() const { return entries_; }
   void Clear() { entries_.clear(); }
@@ -58,6 +73,9 @@ class IoTracer {
   double SequentialFraction() const;
 
  private:
+  void OnEvent(const obs::TraceEvent& event) override;
+
+  BlockLayer* block_ = nullptr;
   std::vector<TraceEntry> entries_;
 };
 

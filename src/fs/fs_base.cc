@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/metrics/counters.h"
+#include "src/obs/trace_sink.h"
 
 namespace splitio {
 
@@ -228,6 +229,9 @@ Task<uint64_t> FsBase::FlushInodeData(Process& submitter, int64_t ino,
   uint32_t run_pages = 0;
   CauseSet run_causes;
   double run_prelim = 0;
+  // Earliest dirtied_at among the run's pages — the span builder's
+  // queued-in-cache residency. Tracked only while tracing is active.
+  Nanos run_first_dirty = 0;
   auto submit_run = [&]() {
     auto req = std::make_shared<BlockRequest>();
     req->sector = run_sector;
@@ -240,6 +244,7 @@ Task<uint64_t> FsBase::FlushInodeData(Process& submitter, int64_t ino,
     req->submitter = &submitter;
     req->ino = ino;
     req->first_page = run_start;
+    req->cache_first_dirty = run_first_dirty;
     // The run's cause set is rebuilt (or cleared) after every submit, so
     // hand the allocation to the request instead of copying it.
     req->causes = std::move(run_causes);
@@ -265,10 +270,15 @@ Task<uint64_t> FsBase::FlushInodeData(Process& submitter, int64_t ino,
       run_pages = 0;
       run_causes.Clear();
       run_prelim = 0;
+      run_first_dirty = 0;
     }
     if (run_pages == 0) {
       run_start = idx;
       run_sector = sector;
+    }
+    if (obs::TracingActive() &&
+        (run_first_dirty == 0 || page->dirtied_at < run_first_dirty)) {
+      run_first_dirty = page->dirtied_at;
     }
     run_causes.Merge(page->causes);
     run_prelim += page->prelim_cost;

@@ -1,10 +1,29 @@
 #include "src/fs/journal.h"
 
+#include <utility>
 #include <vector>
 
 #include "src/device/device.h"
+#include "src/metrics/counters.h"
+#include "src/obs/trace_sink.h"
 
 namespace splitio {
+
+namespace {
+
+// txn_join: a process (or proxy) tied work to transaction `tid`. Only
+// called under obs::TracingActive().
+void EmitTxnJoin(Process& cause, int64_t ino, uint64_t tid) {
+  obs::TraceEvent e;
+  e.type = obs::EventType::kTxnJoin;
+  e.pid = cause.pid();
+  e.ino = ino;
+  e.aux = tid;
+  e.causes = cause.Causes().pids();
+  obs::EmitEvent(std::move(e));
+}
+
+}  // namespace
 
 void Jbd2Journal::Start() {
   Simulator::current().Spawn(CommitLoop());
@@ -16,12 +35,18 @@ void Jbd2Journal::JoinMetadata(Process& cause, int64_t ino, int blocks) {
   running_->meta_blocks += blocks;
   running_->causes.Merge(cause.Causes());
   running_->meta_inodes.insert(ino);
+  if (obs::TracingActive()) {
+    EmitTxnJoin(cause, ino, running_->id);
+  }
 }
 
 void Jbd2Journal::AddOrderedInode(Process& cause, int64_t ino) {
   running_->has_updates = true;
   running_->causes.Merge(cause.Causes());
   running_->ordered_inodes.insert(ino);
+  if (obs::TracingActive()) {
+    EmitTxnJoin(cause, ino, running_->id);
+  }
 }
 
 bool Jbd2Journal::InodeInRunningTx(int64_t ino) const {
@@ -92,6 +117,16 @@ Task<void> Jbd2Journal::DoCommit(std::shared_ptr<Tx> tx) {
     int werr = co_await WriteJournalRecord(*tx);
     if (tx->error == 0) {
       tx->error = werr;
+    }
+    ++counters().journal_commits;
+    if (obs::TracingActive()) {
+      obs::TraceEvent e;
+      e.type = obs::EventType::kTxnCommit;
+      e.pid = journal_task_->pid();
+      e.aux = tx->id;
+      e.result = tx->error;
+      e.causes = tx->causes.pids();
+      obs::EmitEvent(std::move(e));
     }
     if (config_.durability_barriers) {
       // Barrier: the commit record itself must be durable before anyone is

@@ -1,7 +1,10 @@
 #include "src/fs/xfs.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "src/metrics/counters.h"
+#include "src/obs/trace_sink.h"
 #include "src/sim/simulator.h"
 
 namespace splitio {
@@ -17,6 +20,15 @@ void XfsSim::Mount() { Simulator::current().Spawn(PeriodicFlushLoop()); }
 
 void XfsSim::JournalMetadata(Process& cause, int64_t ino, int blocks) {
   pending_.push_back(LogItem{ino, blocks, cause.Causes(), next_lsn_++});
+  if (obs::TracingActive()) {
+    obs::TraceEvent e;
+    e.type = obs::EventType::kTxnJoin;
+    e.pid = cause.pid();
+    e.ino = ino;
+    e.aux = pending_.back().lsn;
+    e.causes = cause.Causes().pids();
+    obs::EmitEvent(std::move(e));
+  }
 }
 
 Task<int> XfsSim::Fsync(Process& proc, int64_t ino) {
@@ -89,6 +101,16 @@ Task<int> XfsSim::LogForce() {
         log_task_->EndProxy();
       }
       ++log_forces_;
+      ++counters().journal_commits;
+      if (obs::TracingActive()) {
+        obs::TraceEvent e;
+        e.type = obs::EventType::kTxnCommit;
+        e.pid = log_task_->pid();
+        e.aux = batch_lsn;
+        e.result = force_error;
+        e.causes = batch_causes.pids();
+        obs::EmitEvent(std::move(e));
+      }
     }
     synced_lsn_ = std::max(synced_lsn_, batch_lsn);
     forcing_ = false;

@@ -30,6 +30,10 @@ struct Counters {
   uint64_t device_flushes = 0;
   uint64_t faults_injected = 0;
   uint64_t wb_errors = 0;
+  // File system / writeback activity.
+  uint64_t journal_commits = 0;    // jbd2 commit records + XFS log forces
+  uint64_t wb_pages_flushed = 0;   // pages handed to the block layer
+  uint64_t mq_kicks = 0;           // hardware-context wakeups (blk-mq)
 
   // Field-wise `*this - earlier`. Counters only grow, so snapshotting before
   // a stack runs and subtracting afterwards attributes activity to that
@@ -47,6 +51,9 @@ struct Counters {
     d.device_flushes = device_flushes - earlier.device_flushes;
     d.faults_injected = faults_injected - earlier.faults_injected;
     d.wb_errors = wb_errors - earlier.wb_errors;
+    d.journal_commits = journal_commits - earlier.journal_commits;
+    d.wb_pages_flushed = wb_pages_flushed - earlier.wb_pages_flushed;
+    d.mq_kicks = mq_kicks - earlier.mq_kicks;
     return d;
   }
 };

@@ -1,0 +1,36 @@
+// Process-global trace capture for bench binaries.
+//
+// `--trace spans.jsonl [--trace-events events.jsonl]` (bench/common/flags.h)
+// calls EnableGlobalTrace, which attaches a process-lifetime TraceSink.
+// The bench atexit reporter (bench/common/report.h) calls
+// FinalizeGlobalTrace just before printing BENCHJSON: the sink's events are
+// folded into spans, the JSONL files are written, and the per-layer /
+// per-cause percentile metrics are appended to the BENCHJSON line. When
+// tracing was never enabled all of this is inert and the BENCHJSON line is
+// unchanged.
+#ifndef SRC_OBS_TRACE_GLOBAL_H_
+#define SRC_OBS_TRACE_GLOBAL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace splitio {
+namespace obs {
+
+// Attaches the global sink and remembers the output paths. `events_path`
+// may be empty (spans only). Idempotent: the first call wins.
+void EnableGlobalTrace(const std::string& spans_path,
+                       const std::string& events_path);
+
+bool GlobalTraceConfigured();
+
+// Builds spans, writes the JSONL file(s), and returns the summary metrics
+// to splice into BENCHJSON. Safe to call when tracing was never enabled
+// (returns empty). Idempotent: the second call returns empty.
+std::vector<std::pair<std::string, double>> FinalizeGlobalTrace();
+
+}  // namespace obs
+}  // namespace splitio
+
+#endif  // SRC_OBS_TRACE_GLOBAL_H_

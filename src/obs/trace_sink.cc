@@ -1,0 +1,84 @@
+#include "src/obs/trace_sink.h"
+
+#include <algorithm>
+
+#include "src/sim/simulator.h"
+
+namespace splitio {
+namespace obs {
+
+namespace {
+
+// Both registries deliberately leak (heap objects that are never freed):
+// the global trace is finalized from an atexit hook, which runs *after*
+// function-local statics constructed later (first Attach / first label
+// scope, both mid-main) have been destroyed. A plain static local here
+// would hand LabelName()/DetachListener() freed memory during that
+// finalization.
+std::vector<TraceListener*>& Listeners() {
+  static std::vector<TraceListener*>* listeners =
+      new std::vector<TraceListener*>();
+  return *listeners;
+}
+
+std::vector<std::string>& LabelTable() {
+  // Index 0 is always the empty label so `label = 0` means "no scope".
+  static std::vector<std::string>* table =
+      new std::vector<std::string>{std::string()};
+  return *table;
+}
+
+uint16_t g_current_label = 0;
+
+}  // namespace
+
+void AttachListener(TraceListener* listener) {
+  std::vector<TraceListener*>& listeners = Listeners();
+  if (std::find(listeners.begin(), listeners.end(), listener) !=
+      listeners.end()) {
+    return;
+  }
+  listeners.push_back(listener);
+  g_trace_listener_count = static_cast<int>(listeners.size());
+}
+
+void DetachListener(TraceListener* listener) {
+  std::vector<TraceListener*>& listeners = Listeners();
+  listeners.erase(std::remove(listeners.begin(), listeners.end(), listener),
+                  listeners.end());
+  g_trace_listener_count = static_cast<int>(listeners.size());
+}
+
+void EmitEvent(TraceEvent event) {
+  event.time = Simulator::current().Now();
+  event.label = g_current_label;
+  for (TraceListener* listener : Listeners()) {
+    listener->OnEvent(event);
+  }
+}
+
+uint16_t InternLabel(const std::string& name) {
+  std::vector<std::string>& table = LabelTable();
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (table[i] == name) {
+      return static_cast<uint16_t>(i);
+    }
+  }
+  table.push_back(name);
+  return static_cast<uint16_t>(table.size() - 1);
+}
+
+const std::string& LabelName(uint16_t index) {
+  std::vector<std::string>& table = LabelTable();
+  if (index >= table.size()) {
+    return table[0];
+  }
+  return table[index];
+}
+
+uint16_t CurrentLabel() { return g_current_label; }
+
+void SetCurrentLabel(uint16_t index) { g_current_label = index; }
+
+}  // namespace obs
+}  // namespace splitio

@@ -3,6 +3,7 @@
 #include "src/block/block_layer.h"
 #include "src/device/device.h"
 #include "src/fs/filesystem.h"
+#include "src/obs/trace_sink.h"
 #include "src/sim/simulator.h"
 
 namespace splitio {
@@ -241,6 +242,14 @@ Task<void> SplitDeadlineScheduler::OwnWritebackLoop() {
     int64_t ino = ctx_.cache->OldestDirtyInode();
     if (ino < 0) {
       continue;
+    }
+    if (obs::TracingActive()) {
+      // Scheduler-initiated writeback round: the wb_kick analogue for the
+      // own-writeback mode, where no daemon kick ever happens.
+      obs::TraceEvent e;
+      e.type = obs::EventType::kWbKick;
+      e.ino = ino;
+      obs::EmitEvent(std::move(e));
     }
     co_await ctx_.fs->WritebackInode(ino, config_.own_writeback_batch_pages);
   }

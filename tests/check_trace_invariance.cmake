@@ -1,0 +1,65 @@
+# Tracing-off/on schedule-invariance check: runs one bench binary twice —
+# untraced, then with --trace — and requires that tracing only *observes*:
+#   - every non-BENCHJSON output line (the paper tables) is byte-identical,
+#   - the counters object inside BENCHJSON is byte-identical (same simulated
+#     schedule, same work),
+#   - the traced run wrote a non-empty span JSONL and reported trace metrics.
+# Invoked by ctest; pass -DBENCH=<path-to-binary> -DWORKDIR=<scratch dir>.
+if(NOT DEFINED BENCH)
+  message(FATAL_ERROR "pass -DBENCH=<path to a bench binary>")
+endif()
+if(NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "pass -DWORKDIR=<scratch directory>")
+endif()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(spans ${WORKDIR}/spans.jsonl)
+file(REMOVE ${spans})
+
+# detect_leaks=0: see check_determinism.cmake.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env ASAN_OPTIONS=detect_leaks=0
+                ${BENCH}
+                OUTPUT_VARIABLE out_off RESULT_VARIABLE rc_off)
+execute_process(COMMAND ${CMAKE_COMMAND} -E env ASAN_OPTIONS=detect_leaks=0
+                ${BENCH} --trace ${spans}
+                OUTPUT_VARIABLE out_on RESULT_VARIABLE rc_on)
+if(NOT rc_off EQUAL 0 OR NOT rc_on EQUAL 0)
+  message(FATAL_ERROR "bench exited nonzero: ${rc_off} / ${rc_on}")
+endif()
+
+# The paper tables (everything but the BENCHJSON line) must be identical.
+string(REGEX REPLACE "BENCHJSON [^\n]*" "BENCHJSON" tables_off "${out_off}")
+string(REGEX REPLACE "BENCHJSON [^\n]*" "BENCHJSON" tables_on "${out_on}")
+if(NOT tables_off STREQUAL tables_on)
+  message(FATAL_ERROR "tracing changed the bench's table output")
+endif()
+
+# Same schedule => same counters object, byte for byte.
+string(REGEX MATCH "\"counters\":{[^}]*}" counters_off "${out_off}")
+string(REGEX MATCH "\"counters\":{[^}]*}" counters_on "${out_on}")
+if(counters_off STREQUAL "")
+  message(FATAL_ERROR "no counters object in untraced BENCHJSON")
+endif()
+if(NOT counters_off STREQUAL counters_on)
+  message(FATAL_ERROR "tracing changed the counters:\n"
+          "off: ${counters_off}\non:  ${counters_on}")
+endif()
+
+# The traced run must actually have produced spans + trace metrics.
+if(NOT EXISTS ${spans})
+  message(FATAL_ERROR "traced run wrote no span file at ${spans}")
+endif()
+file(SIZE ${spans} spans_size)
+if(spans_size EQUAL 0)
+  message(FATAL_ERROR "span file ${spans} is empty")
+endif()
+string(FIND "${out_on}" "\"trace_spans\":" trace_pos)
+if(trace_pos EQUAL -1)
+  message(FATAL_ERROR "traced BENCHJSON carries no trace_spans metric")
+endif()
+string(FIND "${out_off}" "\"trace_spans\":" off_pos)
+if(NOT off_pos EQUAL -1)
+  message(FATAL_ERROR "untraced BENCHJSON unexpectedly has trace metrics")
+endif()
+message(STATUS "tracing is observation-only: tables and counters identical, "
+        "${spans_size} bytes of spans")

@@ -1,6 +1,7 @@
 // Tests for the measurement helpers.
 #include <gtest/gtest.h>
 
+#include "src/metrics/counters.h"
 #include "src/metrics/stats.h"
 
 namespace splitio {
@@ -66,6 +67,62 @@ TEST(LatencyRecorder, MeanMillis) {
   rec.Add(Msec(20));
   rec.Add(Msec(30));
   EXPECT_DOUBLE_EQ(rec.MeanMillis(), 20.0);
+}
+
+// Delta must subtract every field: a field missed here (or in Delta) would
+// silently report absolute totals instead of per-stack activity.
+TEST(Counters, DeltaSubtractsEveryField) {
+  Counters before;
+  uint64_t v = 1;
+  before.sim_events = v++;
+  before.sim_immediate = v++;
+  before.cache_lookups = v++;
+  before.cache_hits = v++;
+  before.pages_dirtied = v++;
+  before.block_submitted = v++;
+  before.block_merged = v++;
+  before.block_completed = v++;
+  before.device_flushes = v++;
+  before.faults_injected = v++;
+  before.wb_errors = v++;
+  before.journal_commits = v++;
+  before.wb_pages_flushed = v++;
+  before.mq_kicks = v++;
+  Counters after = before;
+  uint64_t bump = 100;
+  after.sim_events += bump + 0;
+  after.sim_immediate += bump + 1;
+  after.cache_lookups += bump + 2;
+  after.cache_hits += bump + 3;
+  after.pages_dirtied += bump + 4;
+  after.block_submitted += bump + 5;
+  after.block_merged += bump + 6;
+  after.block_completed += bump + 7;
+  after.device_flushes += bump + 8;
+  after.faults_injected += bump + 9;
+  after.wb_errors += bump + 10;
+  after.journal_commits += bump + 11;
+  after.wb_pages_flushed += bump + 12;
+  after.mq_kicks += bump + 13;
+  Counters d = after.Delta(before);
+  EXPECT_EQ(d.sim_events, bump + 0);
+  EXPECT_EQ(d.sim_immediate, bump + 1);
+  EXPECT_EQ(d.cache_lookups, bump + 2);
+  EXPECT_EQ(d.cache_hits, bump + 3);
+  EXPECT_EQ(d.pages_dirtied, bump + 4);
+  EXPECT_EQ(d.block_submitted, bump + 5);
+  EXPECT_EQ(d.block_merged, bump + 6);
+  EXPECT_EQ(d.block_completed, bump + 7);
+  EXPECT_EQ(d.device_flushes, bump + 8);
+  EXPECT_EQ(d.faults_injected, bump + 9);
+  EXPECT_EQ(d.wb_errors, bump + 10);
+  EXPECT_EQ(d.journal_commits, bump + 11);
+  EXPECT_EQ(d.wb_pages_flushed, bump + 12);
+  EXPECT_EQ(d.mq_kicks, bump + 13);
+  // Self-delta is all zeros.
+  Counters zero = before.Delta(before);
+  EXPECT_EQ(zero.sim_events, 0u);
+  EXPECT_EQ(zero.mq_kicks, 0u);
 }
 
 TEST(ThroughputMeter, ComputesMBps) {

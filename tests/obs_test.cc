@@ -1,0 +1,294 @@
+// Tests for the cross-layer tracing subsystem (src/obs): event emission,
+// span assembly with hand-computable residencies, the summary metrics, and
+// the JSONL exporters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/block/block_layer.h"
+#include "src/block/noop.h"
+#include "src/core/storage_stack.h"
+#include "src/device/device.h"
+#include "src/obs/span.h"
+#include "src/obs/trace_sink.h"
+#include "src/sim/simulator.h"
+
+namespace splitio {
+namespace {
+
+#ifndef SPLITIO_DISABLE_TRACING
+
+TEST(TraceSink, ActiveOnlyWhileAttached) {
+  EXPECT_FALSE(obs::TracingActive());
+  {
+    obs::TraceSink sink;
+    EXPECT_FALSE(obs::TracingActive());  // construction does not attach
+    sink.Attach();
+    EXPECT_TRUE(obs::TracingActive());
+    sink.Attach();  // idempotent
+    EXPECT_TRUE(obs::TracingActive());
+    sink.Detach();
+    EXPECT_FALSE(obs::TracingActive());
+    sink.Attach();
+    // Destructor detaches.
+  }
+  EXPECT_FALSE(obs::TracingActive());
+}
+
+// Two 4 KB writes to far-apart sectors submitted at the same instant
+// through a FIFO elevator and a serial device: the first is dispatched
+// immediately (zero elevator residency) and the second waits in the
+// elevator exactly as long as the first occupies the device. Every
+// residency in this scenario is hand-computable from the span timestamps.
+TEST(SpanBuilder, TwoWritesHandComputableResidency) {
+  obs::TraceSink sink;
+  sink.Attach();
+  Simulator sim;
+  HddModel hdd;
+  NoopElevator noop;
+  BlockLayer block(&hdd, &noop);
+  block.Start();
+  // Cost of the first write, estimated before any I/O moves the head: the
+  // device services it from the same initial state.
+  const Nanos expected_first = hdd.EstimateCost(
+      DeviceRequest{/*sector=*/0, /*bytes=*/kPageSize, /*is_write=*/true});
+  auto submit = [&](uint64_t sector) -> Task<void> {
+    auto req = std::make_shared<BlockRequest>();
+    req->sector = sector;
+    req->bytes = kPageSize;
+    req->is_write = true;
+    co_await block.SubmitAndWait(req);
+  };
+  sim.Spawn(submit(0));
+  sim.Spawn(submit(1 << 20));  // far away: no merge with the first
+  sim.Run(Sec(1));
+
+  auto spans = obs::BuildSpans(sink.events());
+  ASSERT_EQ(spans.size(), 2u);
+  const obs::RequestSpan& s1 = spans[0];
+  const obs::RequestSpan& s2 = spans[1];
+  EXPECT_LT(s1.id, s2.id);
+  EXPECT_EQ(s1.sector, 0u);
+  EXPECT_EQ(s2.sector, 1u << 20);
+
+  // Both entered the elevator at t=0; the first went straight to the
+  // device.
+  EXPECT_EQ(s1.added, 0);
+  EXPECT_EQ(s2.added, 0);
+  EXPECT_EQ(s1.in_elevator(), 0);
+  EXPECT_EQ(s1.dev_start, s1.dispatched);
+  EXPECT_EQ(s1.on_device(), s1.dev_done - s1.dev_start);
+  EXPECT_EQ(s1.on_device(), expected_first);
+  EXPECT_EQ(s1.service, expected_first);
+  EXPECT_EQ(s1.completed, s1.dev_done);
+  EXPECT_EQ(s1.total(), s1.on_device());
+
+  // The second was released the instant the first completed, so its
+  // elevator residency equals the first's device occupancy.
+  EXPECT_EQ(s2.dispatched, s1.completed);
+  EXPECT_EQ(s2.in_elevator(), s1.on_device());
+  EXPECT_GT(s2.on_device(), 0);
+  EXPECT_EQ(s2.total(), s2.in_elevator() + s2.on_device());
+
+  // Neither write was buffered or journaled: those layers read as zero.
+  for (const obs::RequestSpan* s : {&s1, &s2}) {
+    EXPECT_EQ(s->in_cache(), 0);
+    EXPECT_EQ(s->in_journal(), 0);
+    EXPECT_EQ(s->in_swq(), 0);
+    EXPECT_EQ(s->result, 0);
+  }
+}
+
+// Full ext4 stack: buffered write + fsync. Every completed request gets a
+// span; data-write spans carry the dirtier in their cause set and a cache
+// residency; the journal-record span has a journal residency.
+TEST(SpanBuilder, Ext4FsyncAttributesLayers) {
+  obs::TraceSink sink;
+  sink.Attach();
+  obs::ScopedTraceLabel label("obs-test");
+  Simulator sim;
+  StackConfig config;
+  CpuModel cpu(8);
+  StorageStack stack(config, &cpu, nullptr, std::make_unique<NoopElevator>());
+  stack.Start();
+  Process* p = stack.NewProcess("app");
+  auto body = [&]() -> Task<void> {
+    int64_t ino = co_await stack.kernel().Creat(*p, "/f");
+    co_await stack.kernel().Write(*p, ino, 0, 8 * kPageSize);
+    co_await stack.kernel().Fsync(*p, ino);
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(5));
+
+  auto spans = obs::BuildSpans(sink.events());
+  ASSERT_FALSE(spans.empty());
+  bool saw_data_write = false;
+  bool saw_journal = false;
+  for (const obs::RequestSpan& s : spans) {
+    EXPECT_GT(s.completed, 0);
+    EXPECT_GE(s.total(), 0);
+    EXPECT_EQ(obs::LabelName(s.label), "obs-test");
+    if (s.flags & obs::kFlagJournal) {
+      saw_journal = true;
+      // The journal record's transaction was joined before the record hit
+      // the elevator.
+      EXPECT_GT(s.journal_tid, 0u);
+      EXPECT_GT(s.txn_joined, 0);
+      EXPECT_GT(s.in_journal(), 0);
+    } else if (s.flags & obs::kFlagWrite) {
+      saw_data_write = true;
+      ASSERT_EQ(s.causes.size(), 1u);
+      EXPECT_EQ(s.causes[0], p->pid());
+      // The pages were dirtied before writeback submitted them.
+      EXPECT_GT(s.cache_entered, 0);
+      EXPECT_GT(s.in_cache(), 0);
+    }
+  }
+  EXPECT_TRUE(saw_data_write);
+  EXPECT_TRUE(saw_journal);
+
+  // Raw syscall events bracket the whole run.
+  bool saw_enter = false;
+  bool saw_exit = false;
+  for (const obs::TraceEvent& e : sink.events()) {
+    saw_enter = saw_enter || e.type == obs::EventType::kSyscallEnter;
+    saw_exit = saw_exit || e.type == obs::EventType::kSyscallExit;
+  }
+  EXPECT_TRUE(saw_enter);
+  EXPECT_TRUE(saw_exit);
+}
+
+// A second, untraced run of the identical workload must produce the same
+// schedule: tracing observes, never perturbs.
+TEST(TraceSink, TracingDoesNotPerturbSchedule) {
+  auto run = [](bool traced) {
+    obs::TraceSink sink;
+    if (traced) {
+      sink.Attach();
+    }
+    Simulator sim;
+    StackConfig config;
+    CpuModel cpu(8);
+    StorageStack stack(config, &cpu, nullptr,
+                       std::make_unique<NoopElevator>());
+    stack.Start();
+    Process* p = stack.NewProcess("app");
+    Nanos fsync_done = 0;
+    auto body = [&]() -> Task<void> {
+      int64_t ino = co_await stack.kernel().Creat(*p, "/f");
+      co_await stack.kernel().Write(*p, ino, 0, 32 * kPageSize);
+      co_await stack.kernel().Fsync(*p, ino);
+      fsync_done = Simulator::current().Now();
+    };
+    sim.Spawn(body());
+    sim.Run(Sec(5));
+    return fsync_done;
+  };
+  Nanos traced = run(true);
+  Nanos untraced = run(false);
+  EXPECT_GT(traced, 0);
+  EXPECT_EQ(traced, untraced);
+}
+
+#endif  // SPLITIO_DISABLE_TRACING
+
+// The remaining tests drive the span utilities on synthetic data, so they
+// hold even in a SPLITIO_DISABLE_TRACING build.
+
+obs::RequestSpan MakeSpan(uint64_t id, Nanos added, Nanos dispatched,
+                          Nanos done) {
+  obs::RequestSpan s;
+  s.id = id;
+  s.bytes = kPageSize;
+  s.flags = obs::kFlagWrite;
+  s.added = added;
+  s.dispatched = dispatched;
+  s.dev_start = dispatched;
+  s.dev_done = done;
+  s.completed = done;
+  s.service = done - dispatched;
+  return s;
+}
+
+TEST(SummarizeSpans, EmitsLayerAndCauseMetrics) {
+  std::vector<obs::RequestSpan> spans;
+  spans.push_back(MakeSpan(1, 0, Msec(2), Msec(5)));
+  spans.back().causes = {7};
+  spans.push_back(MakeSpan(2, 0, Msec(4), Msec(9)));
+  spans.back().causes = {7, 9};
+  auto metrics = obs::SummarizeSpans(spans);
+  auto find = [&](const std::string& name) -> double {
+    for (const auto& [key, value] : metrics) {
+      if (key == name) {
+        return value;
+      }
+    }
+    ADD_FAILURE() << "missing metric " << name;
+    return -1;
+  };
+  EXPECT_DOUBLE_EQ(find("trace_spans"), 2.0);
+  EXPECT_DOUBLE_EQ(find("trace_elevator_p50_ms"), 3.0);
+  EXPECT_DOUBLE_EQ(find("trace_device_p50_ms"), 4.0);
+  EXPECT_NEAR(find("trace_total_p99_ms"), 8.96, 1e-9);
+  EXPECT_DOUBLE_EQ(find("trace_causes"), 2.0);
+  // Cause 7 saw both totals (5, 9); cause 9 only the second.
+  EXPECT_DOUBLE_EQ(find("trace_cause7_total_p50_ms"), 7.0);
+  EXPECT_DOUBLE_EQ(find("trace_cause9_total_p50_ms"), 9.0);
+  // No span had cache/journal/swq residency: those layers are omitted.
+  for (const auto& [key, value] : metrics) {
+    (void)value;
+    EXPECT_EQ(key.find("trace_cache"), std::string::npos) << key;
+    EXPECT_EQ(key.find("trace_journal"), std::string::npos) << key;
+    EXPECT_EQ(key.find("trace_swq"), std::string::npos) << key;
+  }
+}
+
+TEST(SummarizeSpans, EmptyTraceIsJustTheCount) {
+  auto metrics = obs::SummarizeSpans({});
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_EQ(metrics[0].first, "trace_spans");
+  EXPECT_DOUBLE_EQ(metrics[0].second, 0.0);
+}
+
+TEST(SpanJsonl, OneObjectPerSpanWithResidencies) {
+  std::vector<obs::RequestSpan> spans;
+  spans.push_back(MakeSpan(1, Msec(1), Msec(2), Msec(5)));
+  spans.back().causes = {3, 4};
+  std::ostringstream out;
+  obs::WriteSpansJsonl(spans, out);
+  std::string jsonl = out.str();
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
+  EXPECT_NE(jsonl.find("\"id\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"write\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"causes\":[3,4]"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"in_elevator_ns\":1000000"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"on_device_ns\":3000000"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"total_ns\":4000000"), std::string::npos);
+}
+
+TEST(SpanBuilder, DropsUnfinishedRequests) {
+  std::vector<obs::TraceEvent> events;
+  obs::TraceEvent add;
+  add.type = obs::EventType::kElvAdd;
+  add.request_id = 1;
+  add.time = 0;
+  events.push_back(add);  // never completes
+  obs::TraceEvent add2 = add;
+  add2.request_id = 2;
+  events.push_back(add2);
+  obs::TraceEvent done;
+  done.type = obs::EventType::kBlkComplete;
+  done.request_id = 2;
+  done.time = Msec(1);
+  events.push_back(done);
+  auto spans = obs::BuildSpans(events);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].id, 2u);
+}
+
+}  // namespace
+}  // namespace splitio

@@ -172,6 +172,37 @@ TEST(IoTracer, SequentialFraction) {
   EXPECT_NEAR(tracer.SequentialFraction(), 2.0 / 3.0, 1e-9);
 }
 
+TEST(IoTracer, DetachStopsRecordingAndKeepsEntries) {
+  IoTracer tracer;
+  tracer.Detach();  // detaching while unattached is a no-op
+  EXPECT_FALSE(tracer.attached());
+  Simulator sim;
+  HddModel hdd;
+  NoopElevator noop;
+  BlockLayer block(&hdd, &noop);
+  tracer.Attach(&block);
+  EXPECT_TRUE(tracer.attached());
+  block.Start();
+  auto one_write = [&](uint64_t sector) -> Task<void> {
+    auto req = std::make_shared<BlockRequest>();
+    req->sector = sector;
+    req->bytes = kPageSize;
+    req->is_write = true;
+    co_await block.SubmitAndWait(req);
+  };
+  auto body = [&]() -> Task<void> {
+    co_await one_write(0);
+    tracer.Detach();
+    co_await one_write(1 << 20);  // not recorded
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(1));
+  EXPECT_FALSE(tracer.attached());
+  // The entry recorded before Detach survives it.
+  ASSERT_EQ(tracer.entries().size(), 1u);
+  EXPECT_EQ(tracer.entries()[0].sector, 0u);
+}
+
 TEST(IoTracer, CoexistsWithSplitSchedulerHook) {
   Simulator sim;
   StackConfig config;
