@@ -11,45 +11,13 @@
 #include <vector>
 
 #include "bench/common/report.h"
-#include "src/block/block_deadline.h"
-#include "src/obs/trace_sink.h"
-#include "src/block/cfq.h"
-#include "src/block/noop.h"
+#include "src/core/sched_factory.h"
 #include "src/core/storage_stack.h"
-#include "src/sched/afq.h"
-#include "src/sched/scs_token.h"
-#include "src/sched/split_deadline.h"
-#include "src/sched/split_noop.h"
-#include "src/sched/split_token.h"
+#include "src/obs/trace_sink.h"
 #include "src/sim/simulator.h"
 #include "src/workload/workloads.h"
 
 namespace splitio {
-
-enum class SchedKind {
-  kNoop,
-  kCfq,
-  kBlockDeadline,
-  kSplitNoop,
-  kAfq,
-  kSplitDeadline,
-  kSplitToken,
-  kScsToken,
-};
-
-inline const char* SchedName(SchedKind kind) {
-  switch (kind) {
-    case SchedKind::kNoop: return "block-noop";
-    case SchedKind::kCfq: return "cfq";
-    case SchedKind::kBlockDeadline: return "block-deadline";
-    case SchedKind::kSplitNoop: return "split-noop";
-    case SchedKind::kAfq: return "afq";
-    case SchedKind::kSplitDeadline: return "split-deadline";
-    case SchedKind::kSplitToken: return "split-token";
-    case SchedKind::kScsToken: return "scs-token";
-  }
-  return "?";
-}
 
 // A stack plus the typed pointers benches need to poke schedulers.
 struct Bundle {
@@ -73,46 +41,19 @@ struct BundleOptions {
 inline Bundle MakeBundle(SchedKind kind, BundleOptions opt = BundleOptions()) {
   Bundle b;
   b.cpu = std::make_unique<CpuModel>(opt.cores);
-  std::unique_ptr<SplitScheduler> sched;
-  std::unique_ptr<Elevator> legacy;
-  switch (kind) {
-    case SchedKind::kNoop:
-      legacy = std::make_unique<NoopElevator>();
-      break;
-    case SchedKind::kCfq:
-      legacy = std::make_unique<CfqElevator>(opt.cfq);
-      break;
-    case SchedKind::kBlockDeadline:
-      legacy = std::make_unique<BlockDeadlineElevator>(opt.block_deadline);
-      break;
-    case SchedKind::kSplitNoop:
-      sched = std::make_unique<SplitNoopScheduler>();
-      break;
-    case SchedKind::kAfq:
-      sched = std::make_unique<AfqScheduler>();
-      break;
-    case SchedKind::kSplitDeadline: {
-      auto s = std::make_unique<SplitDeadlineScheduler>(opt.split_deadline);
-      b.split_deadline = s.get();
-      sched = std::move(s);
-      break;
-    }
-    case SchedKind::kSplitToken: {
-      auto s = std::make_unique<SplitTokenScheduler>(opt.split_token);
-      b.split_token = s.get();
-      sched = std::move(s);
-      break;
-    }
-    case SchedKind::kScsToken: {
-      auto s = std::make_unique<ScsTokenScheduler>(opt.scs_token);
-      b.scs_token = s.get();
-      sched = std::move(s);
-      break;
-    }
-  }
+  SchedConfigs configs;
+  configs.block_deadline = opt.block_deadline;
+  configs.split_deadline = opt.split_deadline;
+  configs.split_token = opt.split_token;
+  configs.scs_token = opt.scs_token;
+  configs.cfq = opt.cfq;
+  SchedInstance inst = MakeSched(kind, configs);
+  b.split_token = dynamic_cast<SplitTokenScheduler*>(inst.split.get());
+  b.scs_token = dynamic_cast<ScsTokenScheduler*>(inst.split.get());
+  b.split_deadline = dynamic_cast<SplitDeadlineScheduler*>(inst.split.get());
   b.stack = std::make_unique<StorageStack>(opt.stack, b.cpu.get(),
-                                           std::move(sched),
-                                           std::move(legacy));
+                                           std::move(inst.split),
+                                           std::move(inst.legacy));
   b.stack->Start();
   return b;
 }

@@ -124,6 +124,11 @@ Task<void> BlockLayer::SubmitAndWait(BlockRequestPtr req) {
 }
 
 void BlockLayer::FinishRequest(const BlockRequestPtr& req) {
+  ++finish_calls_;
+  if (drop_completion_interval_ > 0 &&
+      finish_calls_ % drop_completion_interval_ == 0) {
+    return;  // negative control: the completion interrupt is lost
+  }
   ++total_completed_;
   ++counters().block_completed;
   elevator_->OnComplete(*req);

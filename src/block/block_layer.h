@@ -123,6 +123,14 @@ class BlockLayer {
   using BlockFaultHook = std::function<int(const BlockRequest&)>;
   void set_fault_hook(BlockFaultHook hook) { fault_hook_ = std::move(hook); }
 
+  // Negative control for the stress oracles: every `n`th finished request
+  // silently loses its completion — no counters, no elevator OnComplete, no
+  // hooks, and the waiter's latch never fires (a lost completion interrupt).
+  // 0 disables. Test-only; never set on a production stack.
+  void set_drop_completion_interval(uint64_t n) {
+    drop_completion_interval_ = n;
+  }
+
  private:
   // One hardware dispatch context (heap-allocated: coroutines hold
   // references across suspension points, so addresses must be stable).
@@ -169,6 +177,8 @@ class BlockLayer {
   uint64_t total_merged_ = 0;
   std::vector<CompletionHook> completion_hooks_;
   BlockFaultHook fault_hook_;
+  uint64_t drop_completion_interval_ = 0;
+  uint64_t finish_calls_ = 0;
 
   // --- mq state ---
   int effective_hw_queues_ = 1;

@@ -1,0 +1,68 @@
+#include "src/core/sched_factory.h"
+
+#include <cstring>
+
+#include "src/block/noop.h"
+#include "src/sched/afq.h"
+#include "src/sched/split_noop.h"
+
+namespace splitio {
+
+const char* SchedName(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::kNoop: return "block-noop";
+    case SchedKind::kCfq: return "cfq";
+    case SchedKind::kBlockDeadline: return "block-deadline";
+    case SchedKind::kSplitNoop: return "split-noop";
+    case SchedKind::kAfq: return "afq";
+    case SchedKind::kSplitDeadline: return "split-deadline";
+    case SchedKind::kSplitToken: return "split-token";
+    case SchedKind::kScsToken: return "scs-token";
+  }
+  return "?";
+}
+
+bool SchedKindFromName(const char* name, SchedKind* out) {
+  for (SchedKind kind : kAllSchedKinds) {
+    if (std::strcmp(name, SchedName(kind)) == 0) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+SchedInstance MakeSched(SchedKind kind, const SchedConfigs& configs) {
+  SchedInstance out;
+  switch (kind) {
+    case SchedKind::kNoop:
+      out.legacy = std::make_unique<NoopElevator>();
+      break;
+    case SchedKind::kCfq:
+      out.legacy = std::make_unique<CfqElevator>(configs.cfq);
+      break;
+    case SchedKind::kBlockDeadline:
+      out.legacy =
+          std::make_unique<BlockDeadlineElevator>(configs.block_deadline);
+      break;
+    case SchedKind::kSplitNoop:
+      out.split = std::make_unique<SplitNoopScheduler>();
+      break;
+    case SchedKind::kAfq:
+      out.split = std::make_unique<AfqScheduler>();
+      break;
+    case SchedKind::kSplitDeadline:
+      out.split =
+          std::make_unique<SplitDeadlineScheduler>(configs.split_deadline);
+      break;
+    case SchedKind::kSplitToken:
+      out.split = std::make_unique<SplitTokenScheduler>(configs.split_token);
+      break;
+    case SchedKind::kScsToken:
+      out.split = std::make_unique<ScsTokenScheduler>(configs.scs_token);
+      break;
+  }
+  return out;
+}
+
+}  // namespace splitio

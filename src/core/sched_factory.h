@@ -1,0 +1,64 @@
+// Scheduler factory: the one place that knows how to construct each of the
+// eight schedulers the experiments compare. The bench harness, the stress
+// subsystem, and tests all build stacks through this, so "all schedulers"
+// means the same set everywhere.
+#ifndef SRC_CORE_SCHED_FACTORY_H_
+#define SRC_CORE_SCHED_FACTORY_H_
+
+#include <memory>
+
+#include "src/block/block_deadline.h"
+#include "src/block/cfq.h"
+#include "src/block/elevator.h"
+#include "src/core/scheduler.h"
+#include "src/sched/scs_token.h"
+#include "src/sched/split_deadline.h"
+#include "src/sched/split_token.h"
+
+namespace splitio {
+
+enum class SchedKind {
+  kNoop,
+  kCfq,
+  kBlockDeadline,
+  kSplitNoop,
+  kAfq,
+  kSplitDeadline,
+  kSplitToken,
+  kScsToken,
+};
+
+inline constexpr SchedKind kAllSchedKinds[] = {
+    SchedKind::kNoop,          SchedKind::kCfq,
+    SchedKind::kBlockDeadline, SchedKind::kSplitNoop,
+    SchedKind::kAfq,           SchedKind::kSplitDeadline,
+    SchedKind::kSplitToken,    SchedKind::kScsToken,
+};
+
+const char* SchedName(SchedKind kind);
+
+// Parses a SchedName() string. Returns false on an unknown name.
+bool SchedKindFromName(const char* name, SchedKind* out);
+
+// Per-scheduler tuning knobs, all defaulted.
+struct SchedConfigs {
+  BlockDeadlineConfig block_deadline;
+  SplitDeadlineConfig split_deadline;
+  SplitTokenConfig split_token;
+  ScsTokenConfig scs_token;
+  CfqConfig cfq;
+};
+
+// Exactly one member is non-null — matching StorageStack's constructor
+// contract (split scheduler vs legacy block-only elevator).
+struct SchedInstance {
+  std::unique_ptr<SplitScheduler> split;
+  std::unique_ptr<Elevator> legacy;
+};
+
+SchedInstance MakeSched(SchedKind kind,
+                        const SchedConfigs& configs = SchedConfigs());
+
+}  // namespace splitio
+
+#endif  // SRC_CORE_SCHED_FACTORY_H_

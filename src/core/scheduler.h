@@ -34,7 +34,7 @@ struct StackContext {
   CpuModel* cpu = nullptr;
 };
 
-enum class MetaOp { kCreat, kMkdir, kUnlink };
+enum class MetaOp { kCreat, kMkdir, kUnlink, kRename };
 
 class SplitScheduler : public Elevator, public PageCacheHooks {
  public:

@@ -36,12 +36,18 @@ StorageStack::StorageStack(const StackConfig& config, CpuModel* cpu,
   checkpoint_task_ =
       std::make_unique<Process>(kernel_pid_base + 2, "jbd2-checkpoint");
   log_task_ = std::make_unique<Process>(kernel_pid_base + 3, "xfs-log");
+  gc_task_ = std::make_unique<Process>(kernel_pid_base + 4, "cow-gc");
 
   if (config_.fs == StackConfig::FsKind::kExt4) {
     fs_ = std::make_unique<Ext4Sim>(&cache_, block_.get(),
                                     writeback_task_.get(), journal_task_.get(),
                                     checkpoint_task_.get(), config_.layout,
                                     config_.journal);
+  } else if (config_.fs == StackConfig::FsKind::kCow) {
+    fs_ = std::make_unique<CowFsSim>(&cache_, block_.get(),
+                                     writeback_task_.get(),
+                                     checkpoint_task_.get(), gc_task_.get(),
+                                     config_.layout, config_.cow);
   } else {
     XfsLogConfig log_config = config_.xfs_log;
     log_config.full_integration = config_.xfs_full_integration;
@@ -72,6 +78,8 @@ void StorageStack::Start() {
     e4->Mount();
   } else if (auto* x = xfs()) {
     x->Mount();
+  } else if (auto* c = cow()) {
+    c->Mount();
   }
   fs_->StartWriteback();  // no-op if the daemon is disabled in cache config
 }

@@ -15,6 +15,7 @@
 #include "src/core/process.h"
 #include "src/core/scheduler.h"
 #include "src/device/device.h"
+#include "src/fs/cowfs.h"
 #include "src/fs/ext4.h"
 #include "src/fs/xfs.h"
 #include "src/sim/cpu.h"
@@ -24,7 +25,7 @@ namespace splitio {
 
 struct StackConfig {
   enum class DeviceKind { kHdd, kSsd };
-  enum class FsKind { kExt4, kXfs };
+  enum class FsKind { kExt4, kXfs, kCow };
 
   DeviceKind device = DeviceKind::kHdd;
   FsKind fs = FsKind::kExt4;
@@ -44,6 +45,7 @@ struct StackConfig {
   FsBase::Layout layout;
   Jbd2Journal::Config journal;
   XfsLogConfig xfs_log;
+  CowConfig cow;
 
   // pid base for this stack's processes (keep stacks distinct in traces).
   int32_t first_pid = 100;
@@ -75,6 +77,7 @@ class StorageStack {
   Process& writeback_task() { return *writeback_task_; }
   Ext4Sim* ext4() { return dynamic_cast<Ext4Sim*>(fs_.get()); }
   XfsSim* xfs() { return dynamic_cast<XfsSim*>(fs_.get()); }
+  CowFsSim* cow() { return dynamic_cast<CowFsSim*>(fs_.get()); }
 
  private:
   StackConfig config_;
@@ -88,6 +91,7 @@ class StorageStack {
   std::unique_ptr<Process> journal_task_;
   std::unique_ptr<Process> checkpoint_task_;
   std::unique_ptr<Process> log_task_;
+  std::unique_ptr<Process> gc_task_;
   std::unique_ptr<FsBase> fs_;
   std::unique_ptr<OsKernel> kernel_;
   std::vector<std::unique_ptr<Process>> processes_;

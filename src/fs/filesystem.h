@@ -77,6 +77,10 @@ class FileSystem {
   virtual Task<int64_t> Create(Process& proc, const std::string& path) = 0;
   virtual Task<int64_t> Mkdir(Process& proc, const std::string& path) = 0;
   virtual Task<void> Unlink(Process& proc, int64_t ino) = 0;
+  // Moves `ino` to `new_path`. Returns 0, -ENOENT (no such inode or it was
+  // unlinked), or -EEXIST (another live inode holds `new_path`).
+  virtual Task<int> Rename(Process& proc, int64_t ino,
+                           const std::string& new_path) = 0;
 
   // Data operations. Read/Write return bytes moved, or a negative errno
   // (-EIO) when the I/O failed. Writes go to the page cache; reads are
@@ -138,6 +142,8 @@ class FsBase : public FileSystem {
   Task<int64_t> Create(Process& proc, const std::string& path) override;
   Task<int64_t> Mkdir(Process& proc, const std::string& path) override;
   Task<void> Unlink(Process& proc, int64_t ino) override;
+  Task<int> Rename(Process& proc, int64_t ino,
+                   const std::string& new_path) override;
   Task<int64_t> Read(Process& proc, int64_t ino, uint64_t offset,
                      uint64_t len) override;
   Task<int64_t> Write(Process& proc, int64_t ino, uint64_t offset,

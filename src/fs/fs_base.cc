@@ -1,6 +1,7 @@
 #include "src/fs/filesystem.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <vector>
 
 #include "src/metrics/counters.h"
@@ -77,6 +78,28 @@ Task<void> FsBase::Unlink(Process& proc, int64_t ino) {
   inode->deleted = true;
   paths_.erase(inode->path);
   JournalMetadata(proc, ino, 2);
+}
+
+Task<int> FsBase::Rename(Process& proc, int64_t ino,
+                         const std::string& new_path) {
+  Inode* inode = GetInode(ino);
+  if (inode == nullptr || inode->deleted) {
+    co_return -ENOENT;
+  }
+  auto it = paths_.find(new_path);
+  if (it != paths_.end()) {
+    if (it->second == ino) {
+      co_return 0;  // already there
+    }
+    co_return -EEXIST;
+  }
+  paths_.erase(inode->path);
+  inode->path = new_path;
+  paths_[new_path] = ino;
+  // Two directory entries (drop + add) plus the inode: like creat, two
+  // metadata blocks.
+  JournalMetadata(proc, ino, 2);
+  co_return 0;
 }
 
 Task<int64_t> FsBase::Read(Process& proc, int64_t ino, uint64_t offset,

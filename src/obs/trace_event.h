@@ -89,6 +89,7 @@ enum class SyscallOp : uint64_t {
   kCreat,
   kMkdir,
   kUnlink,
+  kRename,
 };
 
 inline const char* SyscallOpName(SyscallOp op) {
@@ -99,6 +100,7 @@ inline const char* SyscallOpName(SyscallOp op) {
     case SyscallOp::kCreat: return "creat";
     case SyscallOp::kMkdir: return "mkdir";
     case SyscallOp::kUnlink: return "unlink";
+    case SyscallOp::kRename: return "rename";
   }
   return "?";
 }

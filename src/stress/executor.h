@@ -1,0 +1,72 @@
+// Scenario executor: builds the configured stack, runs the program, and
+// returns everything the oracles need — per-op results, final file sizes,
+// block/device fingerprints, trace spans, and crash reports.
+//
+// One ExecuteScenario call = one Simulator = one StorageStack. The call is
+// synchronous and deterministic: no wall-clock, no global RNG (fault and
+// crash streams are seeded from the scenario seed).
+#ifndef SRC_STRESS_EXECUTOR_H_
+#define SRC_STRESS_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fault/crash_checker.h"
+#include "src/obs/span.h"
+#include "src/stress/scenario.h"
+
+namespace splitio {
+
+struct ExecOptions {
+  // Off the 5-second writeback/commit grid, and generous: the op-bounded
+  // program finishes long before this, so the stack should be quiescent at
+  // the horizon (the conformance suite pins the same property).
+  Nanos horizon = Msec(27300);
+  // Attach a TraceSink and build request spans (the span oracle's input).
+  bool trace = false;
+  // Crash-point images sampled per run when the scenario has crash mode on:
+  // adversarial (at journal-record completion) plus a few random times.
+  int crash_points = 8;
+};
+
+// Sentinel for "op never completed" in ExecResult::op_results.
+inline constexpr int64_t kOpNotRun = INT64_MIN;
+
+struct ExecResult {
+  // --- Program outcome (the content fingerprint) ---
+  bool all_ops_completed = false;   // program ops + final fsync pass
+  Nanos ops_done_at = 0;            // 0 when !all_ops_completed
+  std::vector<int64_t> op_results;  // aligned with program.ops
+  std::vector<uint64_t> file_sizes; // final size per file index
+
+  // --- Block/device fingerprint (the schedule fingerprint) ---
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t merged = 0;
+  uint64_t device_bytes_read = 0;
+  uint64_t device_bytes_written = 0;
+  Nanos device_busy = 0;
+  uint64_t device_flushes = 0;
+  int inflight_at_end = 0;
+  bool elevator_empty = true;
+
+  // --- Counter deltas (conservation oracle) ---
+  uint64_t pages_dirtied = 0;
+  uint64_t wb_pages_flushed = 0;
+  uint64_t faults_injected = 0;
+
+  // --- Trace spans (span oracle; only when ExecOptions::trace) ---
+  bool traced = false;
+  std::vector<obs::RequestSpan> spans;
+
+  // --- Crash reports (crash oracle; only when scenario.stack.crash) ---
+  uint64_t crash_points = 0;
+  std::vector<CrashReport> crash_reports;
+};
+
+ExecResult ExecuteScenario(const Scenario& scenario,
+                           const ExecOptions& options = {});
+
+}  // namespace splitio
+
+#endif  // SRC_STRESS_EXECUTOR_H_

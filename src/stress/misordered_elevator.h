@@ -1,0 +1,66 @@
+// Deliberately broken elevator — a mutation-style negative control for the
+// stress oracles (NegativeControl::kMisorderedElevator).
+//
+// Two injected bugs:
+//  - dispatch is LIFO (newest first), inverting arrival order;
+//  - every `pocket_interval`th non-flush request is pocketed permanently:
+//    it is never dispatched and never completes, and Empty() lies about it.
+//
+// Note what this does NOT break: durability barrier *ordering*. The file
+// systems wait for data completions before issuing barriers, so an elevator
+// cannot reorder data past a barrier — which is why the catchable elevator
+// bug is starvation/loss, observed by the completion and conservation
+// oracles (a pocketed request strands its waiter and leaves
+// submitted != completed + merged at quiescence).
+#ifndef SRC_STRESS_MISORDERED_ELEVATOR_H_
+#define SRC_STRESS_MISORDERED_ELEVATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/block/elevator.h"
+
+namespace splitio {
+
+class MisorderedElevator : public Elevator {
+ public:
+  explicit MisorderedElevator(uint64_t pocket_interval = 3)
+      : pocket_interval_(pocket_interval) {}
+
+  std::string name() const override { return "misordered"; }
+
+  void Add(BlockRequestPtr req) override {
+    ++adds_;
+    if (pocket_interval_ > 0 && !req->is_flush &&
+        adds_ % pocket_interval_ == 0) {
+      pocketed_.push_back(std::move(req));  // lost forever
+      return;
+    }
+    lifo_.push_back(std::move(req));
+  }
+
+  BlockRequestPtr Next() override {
+    if (lifo_.empty()) {
+      return nullptr;
+    }
+    BlockRequestPtr req = std::move(lifo_.back());
+    lifo_.pop_back();
+    return req;
+  }
+
+  // The lie: pocketed requests are invisible here, so the block layer sees
+  // a "drained" elevator while work is missing.
+  bool Empty() const override { return lifo_.empty(); }
+
+  uint64_t pocketed() const { return pocketed_.size(); }
+
+ private:
+  uint64_t pocket_interval_;
+  uint64_t adds_ = 0;
+  std::vector<BlockRequestPtr> lifo_;
+  std::vector<BlockRequestPtr> pocketed_;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_STRESS_MISORDERED_ELEVATOR_H_

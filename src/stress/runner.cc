@@ -1,0 +1,277 @@
+#include "src/stress/runner.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/stress/oracles.h"
+#include "src/workload/json_mini.h"
+
+namespace splitio {
+
+namespace {
+
+// The canonical options a repro is recorded and replayed under: the cheap
+// invariant oracles always on, the expensive differential ones only when
+// they are the oracle under test. This keeps replay fast and — more
+// importantly — byte-identical to what the shrinker saw.
+OracleOptions ReducedOptions(const std::string& oracle,
+                             const OracleOptions& base) {
+  OracleOptions out = base;
+  out.run_content_differential = oracle == "content";
+  out.run_mq_equivalence = oracle == "mq-equiv";
+  return out;
+}
+
+// Applies runner-level overrides to a generated scenario.
+void ApplyOverrides(const StressOptions& options, Scenario* scenario) {
+  if (options.pin_sched) {
+    scenario->stack.sched = options.pinned_sched;
+  }
+  if (options.force_control != NegativeControl::kNone) {
+    scenario->stack.control = options.force_control;
+    if (options.force_control == NegativeControl::kSkipPreflush) {
+      // The skipped preflush is only observable through journal replay
+      // against a volatile cache: force a crash-mode ext4 stack.
+      scenario->stack.fs = StackConfig::FsKind::kExt4;
+      scenario->stack.crash = true;
+    }
+  }
+}
+
+std::string DescribeStack(const StressStackConfig& st) {
+  std::string out = SchedName(st.sched);
+  out += "/";
+  out += FsKindName(st.fs);
+  out += "/";
+  out += DeviceKindName(st.device);
+  out += st.mq ? "/mq(" + std::to_string(st.hw_queues) + "," +
+                     std::to_string(st.queue_depth) + ")"
+               : "/legacy";
+  if (st.transient_faults) {
+    out += "+faults";
+  }
+  if (st.crash) {
+    out += "+crash";
+  }
+  if (st.control != NegativeControl::kNone) {
+    out += std::string("+control:") + NegativeControlName(st.control);
+  }
+  return out;
+}
+
+bool WriteReproFile(const StressFailure& failure, const std::string& out_dir,
+                    std::string* path_out) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    return false;
+  }
+  std::string path =
+      out_dir + "/repro-seed" + std::to_string(failure.seed) + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ReproToJson(failure) << "\n";
+  out.close();
+  if (!out) {
+    return false;
+  }
+  *path_out = path;
+  return true;
+}
+
+}  // namespace
+
+StressReport RunStress(const StressOptions& options, std::ostream* log) {
+  StressReport report;
+  auto t0 = std::chrono::steady_clock::now();
+  auto budget_spent = [&]() {
+    if (options.budget_seconds <= 0) {
+      return false;
+    }
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    return elapsed.count() >= options.budget_seconds;
+  };
+
+  for (int i = 0; i < options.num_seeds; ++i) {
+    if (budget_spent()) {
+      report.budget_exhausted = true;
+      break;
+    }
+    uint64_t seed = options.seed_start + static_cast<uint64_t>(i);
+    Scenario scenario = GenerateScenario(seed, options.gen);
+    ApplyOverrides(options, &scenario);
+
+    std::vector<OracleFailure> failures =
+        EvaluateScenario(scenario, options.oracle);
+    ++report.seeds_run;
+    if (options.verbose && log) {
+      *log << "seed " << seed << " " << DescribeStack(scenario.stack) << " ops="
+           << scenario.program.ops.size() << " -> "
+           << (failures.empty() ? "ok" : DescribeFailures(failures)) << "\n";
+    }
+    if (failures.empty()) {
+      continue;
+    }
+
+    StressFailure f;
+    f.seed = seed;
+    f.oracle = failures.front().oracle;
+    if (options.minimize) {
+      ShrinkOptions shrink_opts;
+      shrink_opts.max_evals = options.max_shrink_evals;
+      shrink_opts.oracle = options.oracle;
+      ShrinkResult shrunk = Minimize(scenario, f.oracle, shrink_opts);
+      f.shrink_evals = shrunk.evals;
+      if (shrunk.reproduced) {
+        f.minimized = true;
+        f.scenario = shrunk.scenario;
+        for (const OracleFailure& sf : shrunk.failures) {
+          if (sf.oracle == f.oracle) {
+            f.detail = sf.detail;
+            break;
+          }
+        }
+      }
+    }
+    if (!f.minimized) {
+      // Unminimized repro: recompute the detail under the reduced options
+      // the replayer will use, so replay still compares byte-for-byte.
+      f.scenario = scenario;
+      std::vector<OracleFailure> reduced = EvaluateScenario(
+          scenario, ReducedOptions(f.oracle, options.oracle));
+      for (const OracleFailure& rf : reduced) {
+        if (rf.oracle == f.oracle) {
+          f.detail = rf.detail;
+          break;
+        }
+      }
+      if (f.detail.empty()) {
+        f.detail = failures.front().detail;  // last resort; should not happen
+      }
+    }
+    if (!options.out_dir.empty()) {
+      WriteReproFile(f, options.out_dir, &f.repro_path);
+    }
+    if (log) {
+      *log << "FAIL seed " << seed << " oracle=" << f.oracle << " ["
+           << DescribeStack(f.scenario.stack) << " ops="
+           << f.scenario.program.ops.size()
+           << (f.minimized ? ", minimized" : ", unminimized") << "] "
+           << f.detail;
+      if (!f.repro_path.empty()) {
+        *log << " repro=" << f.repro_path;
+      }
+      *log << "\n";
+    }
+    report.failures.push_back(std::move(f));
+  }
+
+  if (log) {
+    *log << "stress: " << report.seeds_run << " seed(s), "
+         << report.failures.size() << " failure(s)"
+         << (report.budget_exhausted ? " (budget exhausted)" : "") << "\n";
+  }
+  return report;
+}
+
+std::string ReproToJson(const StressFailure& failure) {
+  std::string out = "{\"seed\":" + std::to_string(failure.seed);
+  out += ",\"oracle\":\"" + jsonmini::Escape(failure.oracle) + "\"";
+  out += ",\"detail\":\"" + jsonmini::Escape(failure.detail) + "\"";
+  out += ",\"scenario\":" + ScenarioToJson(failure.scenario);
+  out += "}";
+  return out;
+}
+
+bool ReproFromJson(const std::string& json, StressFailure* out) {
+  using jsonmini::Consume;
+  using jsonmini::Cursor;
+  using jsonmini::ParseString;
+  using jsonmini::ParseUint;
+  using jsonmini::SkipValue;
+
+  *out = StressFailure();
+  Cursor c(json);
+  if (!Consume(c, '{')) {
+    return false;
+  }
+  if (Consume(c, '}')) {
+    return true;
+  }
+  for (;;) {
+    std::string key;
+    if (!ParseString(c, &key) || !Consume(c, ':')) {
+      return false;
+    }
+    bool ok = true;
+    if (key == "seed") {
+      ok = ParseUint(c, &out->seed);
+    } else if (key == "oracle") {
+      ok = ParseString(c, &out->oracle);
+    } else if (key == "detail") {
+      ok = ParseString(c, &out->detail);
+    } else if (key == "scenario") {
+      jsonmini::SkipWs(c);
+      const char* start = c.p;
+      if (!SkipValue(c)) {
+        return false;
+      }
+      ok = ScenarioFromJson(std::string(start, c.p), &out->scenario);
+    } else {
+      ok = SkipValue(c);
+    }
+    if (!ok) {
+      return false;
+    }
+    if (Consume(c, '}')) {
+      return true;
+    }
+    if (!Consume(c, ',')) {
+      return false;
+    }
+  }
+}
+
+int ReplayRepro(const std::string& path, std::string* message) {
+  std::ifstream in(path);
+  if (!in) {
+    *message = "cannot open repro file: " + path;
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  StressFailure repro;
+  if (!ReproFromJson(buffer.str(), &repro) || repro.oracle.empty()) {
+    *message = "cannot parse repro file: " + path;
+    return 2;
+  }
+
+  std::vector<OracleFailure> failures =
+      EvaluateScenario(repro.scenario, ReducedOptions(repro.oracle, {}));
+  for (const OracleFailure& failure : failures) {
+    if (failure.oracle == repro.oracle) {
+      if (failure.detail == repro.detail) {
+        *message = "reproduced: " + failure.oracle + ": " + failure.detail;
+        return 0;
+      }
+      *message = "oracle " + repro.oracle +
+                 " fired with a different detail.\n  recorded: " +
+                 repro.detail + "\n  observed: " + failure.detail;
+      return 1;
+    }
+  }
+  *message = "did not reproduce: oracle " + repro.oracle +
+             " stayed clean (observed: " +
+             (failures.empty() ? std::string("no failures")
+                               : DescribeFailures(failures)) +
+             ")";
+  return 1;
+}
+
+}  // namespace splitio

@@ -1,0 +1,44 @@
+// Scenario minimization: given a failing scenario, produce the smallest
+// scenario (fewest ops, simplest stack) that still fails the *same oracle*.
+//
+// Two phases, both predicate-driven (a candidate is kept only if
+// EvaluateScenario still reports a failure from the original oracle):
+//   1. Config axes — disable mq, drop transient faults, drop crash mode,
+//      simplify fs/device/scheduler, zero priorities and think times.
+//   2. Op-level ddmin — classic delta-debugging chunk removal over the
+//      program's ops, then trimming unused processes/files.
+//
+// Negative controls are never removed: the injected bug is what the repro
+// is *about*.
+#ifndef SRC_STRESS_SHRINK_H_
+#define SRC_STRESS_SHRINK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/stress/oracles.h"
+#include "src/stress/scenario.h"
+
+namespace splitio {
+
+struct ShrinkOptions {
+  // Hard cap on predicate evaluations (each evaluation is a full
+  // EvaluateScenario, i.e. one or more simulated runs).
+  int max_evals = 200;
+  OracleOptions oracle;
+};
+
+struct ShrinkResult {
+  Scenario scenario;                    // minimized (== input if irreducible)
+  std::vector<OracleFailure> failures;  // failures of the minimized scenario
+  bool reproduced = false;  // the input failed the oracle at least once
+  int evals = 0;            // predicate evaluations spent
+};
+
+// `oracle` is the OracleFailure::oracle name that must keep failing.
+ShrinkResult Minimize(const Scenario& scenario, const std::string& oracle,
+                      const ShrinkOptions& options = {});
+
+}  // namespace splitio
+
+#endif  // SRC_STRESS_SHRINK_H_

@@ -87,6 +87,24 @@ Task<void> OsKernel::Unlink(Process& proc, int64_t ino) {
   }
 }
 
+Task<int> OsKernel::Rename(Process& proc, int64_t ino,
+                           const std::string& new_path) {
+  if (obs::TracingActive()) {
+    EmitSyscall(obs::EventType::kSyscallEnter, proc, obs::SyscallOp::kRename,
+                ino, 0, 0);
+  }
+  if (sched_ != nullptr) {
+    co_await sched_->OnMetaEntry(proc, MetaOp::kRename, new_path);
+  }
+  co_await ChargeCpu(0);
+  int result = co_await fs_->Rename(proc, ino, new_path);
+  if (obs::TracingActive()) {
+    EmitSyscall(obs::EventType::kSyscallExit, proc, obs::SyscallOp::kRename,
+                ino, 0, result);
+  }
+  co_return result;
+}
+
 Task<int64_t> OsKernel::Read(Process& proc, int64_t ino, uint64_t offset,
                              uint64_t len) {
   if (obs::TracingActive()) {

@@ -40,6 +40,7 @@ class OsKernel {
   Task<int64_t> Creat(Process& proc, const std::string& path);
   Task<int64_t> Mkdir(Process& proc, const std::string& path);
   Task<void> Unlink(Process& proc, int64_t ino);
+  Task<int> Rename(Process& proc, int64_t ino, const std::string& new_path);
   Task<int64_t> Read(Process& proc, int64_t ino, uint64_t offset,
                      uint64_t len);
   Task<int64_t> Write(Process& proc, int64_t ino, uint64_t offset,

@@ -1,0 +1,210 @@
+// Minimal JSON scanning helpers shared by the program and scenario
+// (de)serializers. Not a general JSON library: just enough cursor-based
+// primitives to parse the flat, machine-written files this repo emits
+// (programs, scenarios, repro files) without an external dependency.
+// Unknown keys are skippable so formats can grow without breaking old
+// readers.
+#ifndef SRC_WORKLOAD_JSON_MINI_H_
+#define SRC_WORKLOAD_JSON_MINI_H_
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace splitio {
+namespace jsonmini {
+
+struct Cursor {
+  const char* p = nullptr;
+  const char* end = nullptr;
+
+  explicit Cursor(const std::string& s) : p(s.data()), end(s.data() + s.size()) {}
+
+  bool AtEnd() const { return p >= end; }
+};
+
+inline void SkipWs(Cursor& c) {
+  while (!c.AtEnd() && std::isspace(static_cast<unsigned char>(*c.p))) {
+    ++c.p;
+  }
+}
+
+// Skips whitespace, then consumes `ch` if present. Returns false otherwise.
+inline bool Consume(Cursor& c, char ch) {
+  SkipWs(c);
+  if (c.AtEnd() || *c.p != ch) {
+    return false;
+  }
+  ++c.p;
+  return true;
+}
+
+// Skips whitespace and reports whether the next character is `ch` (without
+// consuming it).
+inline bool Peek(Cursor& c, char ch) {
+  SkipWs(c);
+  return !c.AtEnd() && *c.p == ch;
+}
+
+// Parses a double-quoted string. Supports the escapes the writers emit
+// (\" \\ \/ \n \t); anything fancier fails.
+inline bool ParseString(Cursor& c, std::string* out) {
+  if (!Consume(c, '"')) {
+    return false;
+  }
+  out->clear();
+  while (!c.AtEnd() && *c.p != '"') {
+    char ch = *c.p++;
+    if (ch == '\\') {
+      if (c.AtEnd()) {
+        return false;
+      }
+      char esc = *c.p++;
+      switch (esc) {
+        case '"': ch = '"'; break;
+        case '\\': ch = '\\'; break;
+        case '/': ch = '/'; break;
+        case 'n': ch = '\n'; break;
+        case 't': ch = '\t'; break;
+        default: return false;
+      }
+    }
+    out->push_back(ch);
+  }
+  if (c.AtEnd()) {
+    return false;
+  }
+  ++c.p;  // closing quote
+  return true;
+}
+
+inline bool ParseInt(Cursor& c, int64_t* out) {
+  SkipWs(c);
+  char* endp = nullptr;
+  long long v = std::strtoll(c.p, &endp, 10);
+  if (endp == c.p || endp > c.end) {
+    return false;
+  }
+  c.p = endp;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+inline bool ParseUint(Cursor& c, uint64_t* out) {
+  SkipWs(c);
+  if (!c.AtEnd() && *c.p == '-') {
+    return false;
+  }
+  char* endp = nullptr;
+  unsigned long long v = std::strtoull(c.p, &endp, 10);
+  if (endp == c.p || endp > c.end) {
+    return false;
+  }
+  c.p = endp;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+inline bool ParseDouble(Cursor& c, double* out) {
+  SkipWs(c);
+  char* endp = nullptr;
+  double v = std::strtod(c.p, &endp);
+  if (endp == c.p || endp > c.end) {
+    return false;
+  }
+  c.p = endp;
+  *out = v;
+  return true;
+}
+
+inline bool ParseBool(Cursor& c, bool* out) {
+  SkipWs(c);
+  auto match = [&](const char* lit, size_t n) {
+    if (static_cast<size_t>(c.end - c.p) < n) {
+      return false;
+    }
+    if (std::string(c.p, n) != lit) {
+      return false;
+    }
+    c.p += n;
+    return true;
+  };
+  if (match("true", 4)) {
+    *out = true;
+    return true;
+  }
+  if (match("false", 5)) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+// Skips any JSON value (object / array / string / literal / number), for
+// keys the reader does not know.
+inline bool SkipValue(Cursor& c) {
+  SkipWs(c);
+  if (c.AtEnd()) {
+    return false;
+  }
+  char ch = *c.p;
+  if (ch == '"') {
+    std::string ignored;
+    return ParseString(c, &ignored);
+  }
+  if (ch == '{' || ch == '[') {
+    char open = ch;
+    char close = open == '{' ? '}' : ']';
+    ++c.p;
+    SkipWs(c);
+    if (Consume(c, close)) {
+      return true;
+    }
+    for (;;) {
+      if (open == '{') {
+        std::string key;
+        if (!ParseString(c, &key) || !Consume(c, ':')) {
+          return false;
+        }
+      }
+      if (!SkipValue(c)) {
+        return false;
+      }
+      if (Consume(c, close)) {
+        return true;
+      }
+      if (!Consume(c, ',')) {
+        return false;
+      }
+    }
+  }
+  // Number or literal: consume the token.
+  const char* start = c.p;
+  while (!c.AtEnd() && (std::isalnum(static_cast<unsigned char>(*c.p)) ||
+                        *c.p == '-' || *c.p == '+' || *c.p == '.')) {
+    ++c.p;
+  }
+  return c.p > start;
+}
+
+// Escapes a string for embedding in JSON output.
+inline std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+}  // namespace jsonmini
+}  // namespace splitio
+
+#endif  // SRC_WORKLOAD_JSON_MINI_H_

@@ -1,0 +1,246 @@
+#include "src/workload/program.h"
+
+#include <cstring>
+
+#include "src/workload/json_mini.h"
+
+namespace splitio {
+
+const char* StressOpKindName(StressOpKind kind) {
+  switch (kind) {
+    case StressOpKind::kWrite: return "write";
+    case StressOpKind::kRead: return "read";
+    case StressOpKind::kFsync: return "fsync";
+    case StressOpKind::kRename: return "rename";
+  }
+  return "?";
+}
+
+namespace {
+
+bool StressOpKindFromName(const std::string& name, StressOpKind* out) {
+  for (StressOpKind kind :
+       {StressOpKind::kWrite, StressOpKind::kRead, StressOpKind::kFsync,
+        StressOpKind::kRename}) {
+    if (name == StressOpKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+WorkloadProgram WorkloadProgram::WithOps(
+    const std::vector<size_t>& keep) const {
+  WorkloadProgram out;
+  out.num_procs = num_procs;
+  out.num_files = num_files;
+  out.priorities = priorities;
+  out.ops.reserve(keep.size());
+  for (size_t idx : keep) {
+    if (idx < ops.size()) {
+      out.ops.push_back(ops[idx]);
+    }
+  }
+  return out;
+}
+
+std::string ProgramToJson(const WorkloadProgram& program) {
+  std::string out;
+  out += "{\"procs\":" + std::to_string(program.num_procs);
+  out += ",\"files\":" + std::to_string(program.num_files);
+  out += ",\"prio\":[";
+  for (size_t i = 0; i < program.priorities.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += std::to_string(program.priorities[i]);
+  }
+  out += "],\"ops\":[";
+  for (size_t i = 0; i < program.ops.size(); ++i) {
+    const StressOp& op = program.ops[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"k\":\"";
+    out += StressOpKindName(op.kind);
+    out += "\",\"p\":" + std::to_string(op.proc);
+    out += ",\"f\":" + std::to_string(op.file);
+    if (op.offset != 0) {
+      out += ",\"off\":" + std::to_string(op.offset);
+    }
+    if (op.len != 0) {
+      out += ",\"len\":" + std::to_string(op.len);
+    }
+    if (op.tag != 0) {
+      out += ",\"tag\":" + std::to_string(op.tag);
+    }
+    if (op.delay != 0) {
+      out += ",\"d\":" + std::to_string(op.delay);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+using jsonmini::Consume;
+using jsonmini::Cursor;
+using jsonmini::ParseInt;
+using jsonmini::ParseString;
+using jsonmini::ParseUint;
+using jsonmini::SkipValue;
+
+bool ParseOp(Cursor& c, StressOp* op) {
+  if (!Consume(c, '{')) {
+    return false;
+  }
+  if (Consume(c, '}')) {
+    return true;
+  }
+  for (;;) {
+    std::string key;
+    if (!ParseString(c, &key) || !Consume(c, ':')) {
+      return false;
+    }
+    bool ok = true;
+    int64_t iv = 0;
+    uint64_t uv = 0;
+    if (key == "k") {
+      std::string name;
+      ok = ParseString(c, &name) && StressOpKindFromName(name, &op->kind);
+    } else if (key == "p") {
+      ok = ParseInt(c, &iv);
+      op->proc = static_cast<int>(iv);
+    } else if (key == "f") {
+      ok = ParseInt(c, &iv);
+      op->file = static_cast<int>(iv);
+    } else if (key == "off") {
+      ok = ParseUint(c, &uv);
+      op->offset = uv;
+    } else if (key == "len") {
+      ok = ParseUint(c, &uv);
+      op->len = uv;
+    } else if (key == "tag") {
+      ok = ParseInt(c, &iv);
+      op->tag = static_cast<int>(iv);
+    } else if (key == "d") {
+      ok = ParseInt(c, &iv);
+      op->delay = static_cast<Nanos>(iv);
+    } else {
+      ok = SkipValue(c);
+    }
+    if (!ok) {
+      return false;
+    }
+    if (Consume(c, '}')) {
+      return true;
+    }
+    if (!Consume(c, ',')) {
+      return false;
+    }
+  }
+}
+
+bool ParseProgramObject(Cursor& c, WorkloadProgram* out) {
+  if (!Consume(c, '{')) {
+    return false;
+  }
+  if (Consume(c, '}')) {
+    return true;
+  }
+  for (;;) {
+    std::string key;
+    if (!ParseString(c, &key) || !Consume(c, ':')) {
+      return false;
+    }
+    bool ok = true;
+    if (key == "procs") {
+      int64_t v = 0;
+      ok = ParseInt(c, &v);
+      out->num_procs = static_cast<int>(v);
+    } else if (key == "files") {
+      int64_t v = 0;
+      ok = ParseInt(c, &v);
+      out->num_files = static_cast<int>(v);
+    } else if (key == "prio") {
+      out->priorities.clear();
+      ok = Consume(c, '[');
+      if (ok && !Consume(c, ']')) {
+        for (;;) {
+          int64_t v = 0;
+          if (!ParseInt(c, &v)) {
+            ok = false;
+            break;
+          }
+          out->priorities.push_back(static_cast<int>(v));
+          if (Consume(c, ']')) {
+            break;
+          }
+          if (!Consume(c, ',')) {
+            ok = false;
+            break;
+          }
+        }
+      }
+    } else if (key == "ops") {
+      out->ops.clear();
+      ok = Consume(c, '[');
+      if (ok && !Consume(c, ']')) {
+        for (;;) {
+          StressOp op;
+          if (!ParseOp(c, &op)) {
+            ok = false;
+            break;
+          }
+          out->ops.push_back(op);
+          if (Consume(c, ']')) {
+            break;
+          }
+          if (!Consume(c, ',')) {
+            ok = false;
+            break;
+          }
+        }
+      }
+    } else {
+      ok = SkipValue(c);
+    }
+    if (!ok) {
+      return false;
+    }
+    if (Consume(c, '}')) {
+      return true;
+    }
+    if (!Consume(c, ',')) {
+      return false;
+    }
+  }
+}
+
+}  // namespace
+
+bool ProgramFromJson(const std::string& json, WorkloadProgram* out) {
+  Cursor c(json);
+  *out = WorkloadProgram();
+  if (!ParseProgramObject(c, out)) {
+    return false;
+  }
+  // Basic sanity: indices must be inside the declared universe.
+  if (out->num_procs < 1 || out->num_files < 1) {
+    return false;
+  }
+  for (const StressOp& op : out->ops) {
+    if (op.proc < 0 || op.proc >= out->num_procs || op.file < 0 ||
+        op.file >= out->num_files || op.delay < 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace splitio

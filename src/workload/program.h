@@ -1,0 +1,83 @@
+// Serializable workload programs — the stress subsystem's unit of input.
+//
+// A program is a finite, fully explicit list of file-system operations:
+// every offset, length, and think time is a concrete number, so executing
+// the same program on the same stack configuration is bit-for-bit
+// deterministic. Programs are what the scenario generator randomizes, what
+// the shrinker edits, and what a repro file carries — hence the compact
+// JSON round-trip here (no external parser: the format is flat and fixed).
+//
+// Execution semantics (src/stress/executor.cc):
+//  - `num_files` shared files exist before any op runs (created by a setup
+//    step, paths "/f<i>");
+//  - each process executes its own ops (op.proc) in list order, sleeping
+//    op.delay before issuing each;
+//  - processes interleave through the simulator, i.e. cross-process order
+//    is decided by the stack under test — that's the point.
+//
+// Determinism contract (the differential oracles depend on it): for a
+// fault-free run, every op's *result* is schedule-independent —
+//  - writes always return len (page-cache writes cannot fail);
+//  - reads always return len (holes zero-fill; no faults → no EIO);
+//  - fsyncs return 0;
+//  - renames are issued only by a file's owner process (file % num_procs ==
+//    proc) and target paths are namespaced per process ("/p<proc>_r<tag>"),
+//    so EEXIST outcomes depend only on program order within one process.
+// Final file sizes (max write end per file) and final paths are therefore
+// also schedule-independent. Scheduling may only change *when* things
+// happen, never *what* the program observes — oracle O2 asserts exactly
+// this across all schedulers.
+#ifndef SRC_WORKLOAD_PROGRAM_H_
+#define SRC_WORKLOAD_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace splitio {
+
+enum class StressOpKind : uint8_t { kWrite, kRead, kFsync, kRename };
+
+const char* StressOpKindName(StressOpKind kind);
+
+struct StressOp {
+  StressOpKind kind = StressOpKind::kWrite;
+  int proc = 0;        // executing process index, [0, num_procs)
+  int file = 0;        // target file index, [0, num_files)
+  uint64_t offset = 0; // byte offset (write/read)
+  uint64_t len = 0;    // byte length (write/read)
+  int tag = 0;         // rename target id, stable across shrinking
+  Nanos delay = 0;     // think time before issuing
+
+  bool operator==(const StressOp&) const = default;
+};
+
+struct WorkloadProgram {
+  int num_procs = 1;
+  int num_files = 1;
+  // Best-effort priority per process (0..7); empty = all 4 (the default).
+  std::vector<int> priorities;
+  std::vector<StressOp> ops;
+
+  bool operator==(const WorkloadProgram&) const = default;
+
+  // Drops ops outside [0, ops.size()) given by `keep` (sorted indices) —
+  // the shrinker's primitive. Process/file indices are preserved (not
+  // compacted): a process with no remaining ops simply exits immediately.
+  WorkloadProgram WithOps(const std::vector<size_t>& keep) const;
+};
+
+// Compact single-line JSON. Example:
+//   {"procs":2,"files":3,"prio":[4,6],
+//    "ops":[{"k":"write","p":0,"f":1,"off":8192,"len":4096,"d":1000000}]}
+std::string ProgramToJson(const WorkloadProgram& program);
+
+// Parses ProgramToJson output (tolerant of whitespace, strict about
+// structure). Returns false on malformed input.
+bool ProgramFromJson(const std::string& json, WorkloadProgram* out);
+
+}  // namespace splitio
+
+#endif  // SRC_WORKLOAD_PROGRAM_H_

@@ -1,0 +1,123 @@
+// Stress-tier tests: oracle evaluation on clean scenarios, mutation
+// negative controls (each injected bug must be caught, minimized to a
+// handful of ops, and reproducible from its repro file), and the replay
+// path's byte-for-byte comparison.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/stress/oracles.h"
+#include "src/stress/runner.h"
+#include "src/stress/shrink.h"
+
+namespace splitio {
+namespace {
+
+TEST(StressOracles, CleanSeedsPass) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Scenario s = GenerateScenario(seed);
+    std::vector<OracleFailure> failures = EvaluateScenario(s);
+    EXPECT_TRUE(failures.empty())
+        << "seed " << seed << ": " << DescribeFailures(failures);
+  }
+}
+
+TEST(StressOracles, EvaluationIsDeterministic) {
+  Scenario s = GenerateScenario(3);
+  s.stack.control = NegativeControl::kDropCompletion;
+  std::vector<OracleFailure> a = EvaluateScenario(s);
+  std::vector<OracleFailure> b = EvaluateScenario(s);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].oracle, b[i].oracle);
+    EXPECT_EQ(a[i].detail, b[i].detail);
+  }
+}
+
+// Runs a one-seed campaign with `control` forced and asserts the failure is
+// caught, minimized to at most 8 ops, written as a repro, and that the
+// repro replays byte-identically.
+void ExpectControlCaught(NegativeControl control,
+                         const std::string& expected_oracle_a,
+                         const std::string& expected_oracle_b) {
+  StressOptions options;
+  options.seed_start = 1;
+  options.num_seeds = 2;
+  options.force_control = control;
+  options.out_dir =
+      testing::TempDir() + "stress_ctl_" + NegativeControlName(control);
+  StressReport report = RunStress(options, nullptr);
+  ASSERT_EQ(report.seeds_run, 2);
+  ASSERT_EQ(report.failures.size(), 2u)
+      << "control " << NegativeControlName(control) << " not caught";
+  for (const StressFailure& f : report.failures) {
+    EXPECT_TRUE(f.oracle == expected_oracle_a || f.oracle == expected_oracle_b)
+        << "unexpected oracle " << f.oracle;
+    EXPECT_TRUE(f.minimized);
+    EXPECT_LE(f.scenario.program.ops.size(), 8u)
+        << "repro not minimized: " << ScenarioToJson(f.scenario);
+    // The minimized scenario still carries the control (self-contained).
+    EXPECT_EQ(f.scenario.stack.control, control);
+    ASSERT_FALSE(f.repro_path.empty());
+    std::string message;
+    EXPECT_EQ(ReplayRepro(f.repro_path, &message), 0) << message;
+  }
+}
+
+TEST(StressNegativeControls, DropCompletionCaught) {
+  ExpectControlCaught(NegativeControl::kDropCompletion, "completion",
+                      "conservation");
+}
+
+TEST(StressNegativeControls, MisorderedElevatorCaught) {
+  ExpectControlCaught(NegativeControl::kMisorderedElevator, "completion",
+                      "conservation");
+}
+
+TEST(StressNegativeControls, SkipPreflushCaughtByCrashOracle) {
+  ExpectControlCaught(NegativeControl::kSkipPreflush, "crash", "crash");
+}
+
+TEST(StressShrink, UnreproducibleFailureIsReported) {
+  Scenario s = GenerateScenario(1);  // clean scenario
+  ShrinkResult result = Minimize(s, "completion");
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_EQ(result.scenario, s);
+  EXPECT_EQ(result.evals, 1);
+}
+
+TEST(StressReplay, DetectsTamperedDetail) {
+  StressOptions options;
+  options.num_seeds = 1;
+  options.force_control = NegativeControl::kDropCompletion;
+  options.out_dir = testing::TempDir() + "stress_tamper";
+  StressReport report = RunStress(options, nullptr);
+  ASSERT_EQ(report.failures.size(), 1u);
+  StressFailure tampered = report.failures[0];
+  tampered.detail += " (edited)";
+  std::string path = options.out_dir + "/tampered.json";
+  std::ofstream(path) << ReproToJson(tampered);
+  std::string message;
+  EXPECT_EQ(ReplayRepro(path, &message), 1) << message;
+}
+
+TEST(StressReplay, MissingFileIsAnError) {
+  std::string message;
+  EXPECT_EQ(ReplayRepro(testing::TempDir() + "does_not_exist.json", &message),
+            2);
+}
+
+TEST(StressCampaign, BudgetTruncatesSeedRange) {
+  StressOptions options;
+  options.num_seeds = 1000000;
+  options.budget_seconds = 1;
+  StressReport report = RunStress(options, nullptr);
+  EXPECT_TRUE(report.ok()) << DescribeFailures({});
+  EXPECT_TRUE(report.budget_exhausted);
+  EXPECT_LT(report.seeds_run, 1000000);
+  EXPECT_GT(report.seeds_run, 0);
+}
+
+}  // namespace
+}  // namespace splitio

@@ -6,6 +6,7 @@
 //   bench_runner [--out results.json] [--outdir dir] [--only substr]
 //                <bench binary>...
 //   bench_runner --compare old.json new.json [--threshold 0.10]
+//   bench_runner --validate results.json
 //
 // For each bench the runner forks/execs the binary with stdout+stderr
 // redirected to <outdir>/<name>.txt (the paper-fidelity output, kept for
@@ -357,6 +358,62 @@ int Compare(const std::string& old_path, const std::string& new_path,
   return 0;
 }
 
+// ---- validate mode ----
+
+// Structural check of a results file (CI's smoke gate): at least one bench
+// entry, every entry exited 0, and every entry carries a positive
+// events_per_sec. Replaces the old shell greps, which matched substrings of
+// the raw JSON and silently passed on empty or truncated files.
+int Validate(const std::string& path) {
+  std::string s = ReadFile(path);
+  if (s.empty()) {
+    std::fprintf(stderr, "validate: %s is missing or empty\n", path.c_str());
+    return 1;
+  }
+  int entries = 0;
+  int bad = 0;
+  size_t pos = 0;
+  while ((pos = FindValuePos(s, "bench", pos)) != std::string::npos) {
+    if (pos >= s.size() || s[pos] != '"') {
+      continue;
+    }
+    size_t name_start = pos + 1;
+    size_t name_end = s.find('"', name_start);
+    if (name_end == std::string::npos) {
+      break;
+    }
+    std::string name = s.substr(name_start, name_end - name_start);
+    ++entries;
+    double exit_code = -1;
+    double events_per_sec = 0;
+    bool has_exit = FindNumber(s, "exit_code", &exit_code, name_end);
+    bool has_eps = FindNumber(s, "events_per_sec", &events_per_sec, name_end);
+    if (!has_exit || exit_code != 0) {
+      std::fprintf(stderr, "validate: %s: exit_code %s\n", name.c_str(),
+                   has_exit ? std::to_string(static_cast<int>(exit_code)).c_str()
+                            : "missing");
+      ++bad;
+    }
+    if (!has_eps || events_per_sec <= 0) {
+      std::fprintf(stderr, "validate: %s: events_per_sec %s\n", name.c_str(),
+                   has_eps ? "not positive" : "missing");
+      ++bad;
+    }
+    pos = name_end;
+  }
+  if (entries == 0) {
+    std::fprintf(stderr, "validate: no bench entries in %s\n", path.c_str());
+    return 1;
+  }
+  if (bad > 0) {
+    std::fprintf(stderr, "validate: %d problem(s) across %d bench(es)\n", bad,
+                 entries);
+    return 1;
+  }
+  std::printf("validate: %d bench(es) ok in %s\n", entries, path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -365,6 +422,7 @@ int main(int argc, char** argv) {
   std::string only;
   std::string compare_old;
   std::string compare_new;
+  std::string validate_path;
   double threshold = 0.10;
   std::vector<std::string> benches;
 
@@ -388,11 +446,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--compare") {
       compare_old = next("--compare");
       compare_new = next("--compare");
+    } else if (arg == "--validate") {
+      validate_path = next("--validate");
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bench_runner [--out FILE] [--outdir DIR] [--only SUBSTR] "
           "BENCH...\n       bench_runner --compare OLD NEW [--threshold "
-          "FRACTION]\n");
+          "FRACTION]\n       bench_runner --validate RESULTS\n");
       return 0;
     } else {
       benches.push_back(arg);
@@ -401,6 +461,9 @@ int main(int argc, char** argv) {
 
   if (!compare_old.empty()) {
     return Compare(compare_old, compare_new, threshold);
+  }
+  if (!validate_path.empty()) {
+    return Validate(validate_path);
   }
   if (benches.empty()) {
     std::fprintf(stderr, "no bench binaries given (see --help)\n");

@@ -1,0 +1,141 @@
+// Randomized differential stress runner.
+//
+// Campaign mode (default): generate one scenario per seed (random workload
+// program x random stack config), execute it under the cross-config oracles
+// (completion, conservation, span accounting, crash consistency, mq(1,1) ==
+// legacy, cross-scheduler content), minimize any failure (config axes +
+// op-level ddmin), and write a self-contained repro JSON per failure.
+//
+//   stress_runner --seeds 200 --out-dir stress-out
+//   stress_runner --seeds 100000 --budget 30 --out-dir stress-out
+//   stress_runner --seeds 50 --control drop-completion   # oracle self-test
+//
+// Replay mode: re-execute a repro file and verify the recorded failure
+// reproduces byte-for-byte.
+//
+//   stress_runner --replay stress-out/repro-seed42.json
+//
+// Exit codes: 0 = clean campaign / failure reproduced; 1 = failures found /
+// replay mismatch; 2 = usage or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/stress/runner.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: stress_runner [--seeds N] [--seed-start N]\n"
+               "                     [--budget SECONDS] [--out-dir DIR]\n"
+               "                     [--no-minimize] [--no-content-diff]\n"
+               "                     [--no-mq-equiv] [--control NAME]\n"
+               "                     [--sched NAME] [--max-ops N] [--verbose]\n"
+               "       stress_runner --replay FILE\n"
+               "controls: skip-preflush | misordered-elevator | "
+               "drop-completion\n");
+  return 2;
+}
+
+bool ParseLong(const char* s, long* out) {
+  char* end = nullptr;
+  long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using splitio::NegativeControl;
+  using splitio::StressOptions;
+
+  StressOptions options;
+  std::string replay_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    long v = 0;
+    if (arg == "--seeds") {
+      const char* val = next();
+      if (val == nullptr || !ParseLong(val, &v) || v < 1) {
+        return Usage();
+      }
+      options.num_seeds = static_cast<int>(v);
+    } else if (arg == "--seed-start") {
+      const char* val = next();
+      if (val == nullptr || !ParseLong(val, &v) || v < 0) {
+        return Usage();
+      }
+      options.seed_start = static_cast<uint64_t>(v);
+    } else if (arg == "--budget") {
+      const char* val = next();
+      if (val == nullptr || !ParseLong(val, &v) || v < 1) {
+        return Usage();
+      }
+      options.budget_seconds = static_cast<double>(v);
+    } else if (arg == "--out-dir") {
+      const char* val = next();
+      if (val == nullptr) {
+        return Usage();
+      }
+      options.out_dir = val;
+    } else if (arg == "--no-minimize") {
+      options.minimize = false;
+    } else if (arg == "--no-content-diff") {
+      options.oracle.run_content_differential = false;
+    } else if (arg == "--no-mq-equiv") {
+      options.oracle.run_mq_equivalence = false;
+    } else if (arg == "--control") {
+      const char* val = next();
+      if (val == nullptr ||
+          !splitio::NegativeControlFromName(val, &options.force_control) ||
+          options.force_control == NegativeControl::kNone) {
+        return Usage();
+      }
+    } else if (arg == "--sched") {
+      const char* val = next();
+      if (val == nullptr ||
+          !splitio::SchedKindFromName(val, &options.pinned_sched)) {
+        return Usage();
+      }
+      options.pin_sched = true;
+    } else if (arg == "--max-ops") {
+      const char* val = next();
+      if (val == nullptr || !ParseLong(val, &v) || v < 1) {
+        return Usage();
+      }
+      options.gen.max_ops = static_cast<int>(v);
+      options.gen.min_ops = std::min(options.gen.min_ops, options.gen.max_ops);
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--replay") {
+      const char* val = next();
+      if (val == nullptr) {
+        return Usage();
+      }
+      replay_path = val;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (!replay_path.empty()) {
+    std::string message;
+    int rc = splitio::ReplayRepro(replay_path, &message);
+    std::cout << message << "\n";
+    return rc;
+  }
+
+  splitio::StressReport report = splitio::RunStress(options, &std::cout);
+  return report.ok() ? 0 : 1;
+}
