@@ -23,24 +23,25 @@ class LatencyRecorder {
 
   size_t count() const { return samples_.size(); }
 
-  // p in [0, 100]. Returns 0 for an empty recorder. Linearly interpolates
-  // between adjacent order statistics when the rank is fractional
-  // (NIST/Excel "inclusive" method) — truncating the rank biases tail
-  // percentiles low on small sample counts.
+  // p in [0, 100]. Returns 0 for an empty recorder (explicitly: there is no
+  // sample to report, and callers treat 0 as "no data"). Nearest-rank
+  // (ceil) percentile: the smallest sample with at least p% of the samples
+  // at or below it. Always an observed sample — the previous interpolating
+  // definition averaged adjacent order statistics, which skewed tail
+  // percentiles low on small sample counts (p99 of {1ms, 1s} reported
+  // ~990ms instead of the actually-observed 1s).
   Nanos Percentile(double p) {
     if (samples_.empty()) {
       return 0;
     }
     EnsureSorted();
-    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-    auto lo = static_cast<size_t>(rank);
-    lo = std::min(lo, samples_.size() - 1);
-    size_t hi = std::min(lo + 1, samples_.size() - 1);
-    double frac = rank - static_cast<double>(lo);
-    double interpolated =
-        static_cast<double>(samples_[lo]) +
-        frac * static_cast<double>(samples_[hi] - samples_[lo]);
-    return static_cast<Nanos>(std::llround(interpolated));
+    if (p <= 0) {
+      return samples_.front();
+    }
+    double rank = p / 100.0 * static_cast<double>(samples_.size());
+    auto idx = static_cast<size_t>(std::ceil(rank));
+    idx = std::min(std::max<size_t>(idx, 1), samples_.size());
+    return samples_[idx - 1];
   }
 
   Nanos Max() {

@@ -189,7 +189,8 @@ std::string ReproToJson(const StressFailure& failure) {
   return out;
 }
 
-bool ReproFromJson(const std::string& json, StressFailure* out) {
+bool ReproFromJson(const std::string& json, StressFailure* out,
+                   jsonmini::ParseError* err) {
   using jsonmini::Consume;
   using jsonmini::Cursor;
   using jsonmini::ParseString;
@@ -198,8 +199,12 @@ bool ReproFromJson(const std::string& json, StressFailure* out) {
 
   *out = StressFailure();
   Cursor c(json);
-  if (!Consume(c, '{')) {
+  auto fail = [&]() {
+    c.ReportError(err, "malformed repro JSON");
     return false;
+  };
+  if (!Consume(c, '{')) {
+    return fail();
   }
   if (Consume(c, '}')) {
     return true;
@@ -207,7 +212,7 @@ bool ReproFromJson(const std::string& json, StressFailure* out) {
   for (;;) {
     std::string key;
     if (!ParseString(c, &key) || !Consume(c, ':')) {
-      return false;
+      return fail();
     }
     bool ok = true;
     if (key == "seed") {
@@ -220,20 +225,27 @@ bool ReproFromJson(const std::string& json, StressFailure* out) {
       jsonmini::SkipWs(c);
       const char* start = c.p;
       if (!SkipValue(c)) {
-        return false;
+        return fail();
       }
-      ok = ScenarioFromJson(std::string(start, c.p), &out->scenario);
+      jsonmini::ParseError serr;
+      ok = ScenarioFromJson(std::string(start, c.p), &out->scenario, &serr);
+      if (!ok) {
+        // Re-anchor the sub-parse's offset onto the enclosing document.
+        c.failed = true;
+        c.err_offset = static_cast<size_t>(start - c.begin) + serr.offset;
+        c.err_message = "bad scenario";
+      }
     } else {
       ok = SkipValue(c);
     }
     if (!ok) {
-      return false;
+      return fail();
     }
     if (Consume(c, '}')) {
       return true;
     }
     if (!Consume(c, ',')) {
-      return false;
+      return fail();
     }
   }
 }
@@ -247,13 +259,30 @@ int ReplayRepro(const std::string& path, std::string* message) {
   std::stringstream buffer;
   buffer << in.rdbuf();
   StressFailure repro;
-  if (!ReproFromJson(buffer.str(), &repro) || repro.oracle.empty()) {
-    *message = "cannot parse repro file: " + path;
+  jsonmini::ParseError err;
+  if (!ReproFromJson(buffer.str(), &repro, &err)) {
+    *message =
+        "cannot parse repro file: " + path + ": " + err.Describe();
+    return 2;
+  }
+  if (repro.oracle.empty()) {
+    *message = "cannot parse repro file: " + path + ": no oracle recorded";
     return 2;
   }
 
   std::vector<OracleFailure> failures =
       EvaluateScenario(repro.scenario, ReducedOptions(repro.oracle, {}));
+  if (repro.oracle == "clean") {
+    // The repro records the *absence* of failures (a healthy trace slice):
+    // replay succeeds iff every invariant oracle stays clean.
+    if (failures.empty()) {
+      *message = "reproduced: clean (no oracle fired)";
+      return 0;
+    }
+    *message = "did not reproduce: recorded clean but observed " +
+               DescribeFailures(failures);
+    return 1;
+  }
   for (const OracleFailure& failure : failures) {
     if (failure.oracle == repro.oracle) {
       if (failure.detail == repro.detail) {
@@ -272,6 +301,37 @@ int ReplayRepro(const std::string& path, std::string* message) {
                                : DescribeFailures(failures)) +
              ")";
   return 1;
+}
+
+std::string ResolveReproPath(const std::string& given,
+                             const std::string& exe_hint) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  auto canonical = [&](const fs::path& p) {
+    fs::path abs = fs::absolute(p, ec);
+    if (ec) {
+      return p.string();
+    }
+    fs::path canon = fs::weakly_canonical(abs, ec);
+    return ec ? abs.string() : canon.string();
+  };
+  fs::path given_path(given);
+  if (fs::exists(given_path, ec)) {
+    return canonical(given_path);
+  }
+  if (!given_path.is_absolute() && !exe_hint.empty()) {
+    fs::path exe_dir = fs::path(exe_hint).parent_path();
+    for (const fs::path& base : {exe_dir, exe_dir.parent_path()}) {
+      if (base.empty()) {
+        continue;
+      }
+      fs::path candidate = base / given_path;
+      if (fs::exists(candidate, ec)) {
+        return canonical(candidate);
+      }
+    }
+  }
+  return given;
 }
 
 }  // namespace splitio

@@ -59,14 +59,31 @@ struct StressReport {
 StressReport RunStress(const StressOptions& options, std::ostream* log);
 
 // Repro file: {"seed":..,"oracle":"..","detail":"..","scenario":{..}}.
+// The reserved oracle name "clean" records a scenario expected to pass
+// every invariant oracle (trace2repro emits it for healthy trace slices);
+// replay then asserts the absence of failures instead of one's presence.
 std::string ReproToJson(const StressFailure& failure);
-bool ReproFromJson(const std::string& json, StressFailure* out);
+// `err`, when non-null, receives the byte offset and reason of a failure.
+bool ReproFromJson(const std::string& json, StressFailure* out,
+                   jsonmini::ParseError* err = nullptr);
 
 // Re-executes a repro file's scenario and compares the failure against the
 // recorded oracle + detail. Returns 0 when the failure reproduces
 // byte-identically, 1 when it does not (message explains), 2 on file/parse
-// errors. `message` always receives a human-readable outcome.
+// errors (including *where* the parse broke). `message` always receives a
+// human-readable outcome.
 int ReplayRepro(const std::string& path, std::string* message);
+
+// Resolves the --replay argument to an absolute path. An existing path is
+// canonicalized against the CWD; a relative path that does not exist there
+// is probed against the directory containing `exe_hint` (the runner
+// binary) and that directory's parent — the nightly workflow invokes the
+// runner from build/ while artifact-downloaded repros sit next to the
+// binary, so CWD-relative resolution alone made the same command line work
+// in one checkout and fail in another. Returns `given` unchanged when no
+// candidate exists (the open error then names the original argument).
+std::string ResolveReproPath(const std::string& given,
+                             const std::string& exe_hint);
 
 }  // namespace splitio
 

@@ -293,7 +293,14 @@ bool ParseScenarioObject(Cursor& c, Scenario* out) {
       if (!SkipValue(c)) {
         return false;
       }
-      ok = ProgramFromJson(std::string(start, c.p), &out->program);
+      jsonmini::ParseError perr;
+      ok = ProgramFromJson(std::string(start, c.p), &out->program, &perr);
+      if (!ok) {
+        // Re-anchor the sub-parse's offset onto the enclosing document.
+        c.failed = true;
+        c.err_offset = static_cast<size_t>(start - c.begin) + perr.offset;
+        c.err_message = "bad program";
+      }
     } else {
       ok = SkipValue(c);
     }
@@ -311,13 +318,16 @@ bool ParseScenarioObject(Cursor& c, Scenario* out) {
 
 }  // namespace
 
-bool ScenarioFromJson(const std::string& json, Scenario* out) {
+bool ScenarioFromJson(const std::string& json, Scenario* out,
+                      jsonmini::ParseError* err) {
   Cursor c(json);
   *out = Scenario();
   if (!ParseScenarioObject(c, out)) {
+    c.ReportError(err, "malformed scenario JSON");
     return false;
   }
   if (out->stack.hw_queues < 1 || out->stack.queue_depth < 1) {
+    c.ReportError(err, "mq topology must have >=1 queue of depth >=1");
     return false;
   }
   return true;

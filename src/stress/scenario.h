@@ -89,7 +89,9 @@ const char* DeviceKindName(StackConfig::DeviceKind device);
 
 // Single-line JSON, embedding the program via ProgramToJson.
 std::string ScenarioToJson(const Scenario& scenario);
-bool ScenarioFromJson(const std::string& json, Scenario* out);
+// `err`, when non-null, receives the byte offset and reason of a failure.
+bool ScenarioFromJson(const std::string& json, Scenario* out,
+                      jsonmini::ParseError* err = nullptr);
 
 }  // namespace splitio
 

@@ -1,0 +1,47 @@
+// Trace slice -> stress repro: bridges real-trace ingest (src/workload/
+// trace) to the stress subsystem's repro/minimize/replay machinery.
+//
+// TraceToRepro reconstructs a parsed trace into a scenario, evaluates the
+// invariant oracles, and packages the outcome as a StressFailure suitable
+// for ReproToJson:
+//  - a clean slice records the reserved oracle name "clean" (runner.h), so
+//    `stress_runner --replay` asserts the slice keeps passing;
+//  - a misbehaving slice records the first firing oracle and, when
+//    requested, ddmin-minimizes the reconstructed program through the
+//    existing shrinker before packaging — so a million-record trace slice
+//    reduces to the handful of ops that actually trip the oracle.
+// Either way the repro replays byte-identically: details are built from
+// simulated values only.
+#ifndef SRC_STRESS_TRACE_REPRO_H_
+#define SRC_STRESS_TRACE_REPRO_H_
+
+#include <string>
+
+#include "src/stress/runner.h"
+#include "src/workload/trace/record.h"
+#include "src/workload/trace/reconstruct.h"
+
+namespace splitio {
+
+struct TraceReproOptions {
+  ingest::ReconstructOptions reconstruct;
+  uint64_t seed = 1;
+  // Stack the reconstructed program runs on. `control` deliberately breaks
+  // it (negative control) — the supported way to demonstrate a failing
+  // trace repro end to end.
+  StressStackConfig stack;
+  OracleOptions oracle;
+  bool minimize = true;
+  int max_shrink_evals = 200;
+};
+
+// Fills *out with a replayable repro for the trace. Returns false only
+// when reconstruction fails (empty trace / bad options); oracle failures
+// are a *successful* conversion — they are what the repro records.
+bool TraceToRepro(const ingest::ParsedTrace& trace,
+                  const TraceReproOptions& options, StressFailure* out,
+                  std::string* error);
+
+}  // namespace splitio
+
+#endif  // SRC_STRESS_TRACE_REPRO_H_

@@ -9,19 +9,63 @@
 
 #include <cctype>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 namespace splitio {
 namespace jsonmini {
 
+// Where and why a parse failed, for callers that want to report it. The
+// byte offset indexes into the input string handed to the Cursor, so a bad
+// repro/trace file can say *where* it broke instead of just returning
+// false.
+struct ParseError {
+  size_t offset = 0;
+  std::string message;
+
+  std::string Describe() const {
+    return message + " at byte " + std::to_string(offset);
+  }
+};
+
 struct Cursor {
+  const char* begin = nullptr;
   const char* p = nullptr;
   const char* end = nullptr;
+  // First failure recorded by a parse primitive; later failures (e.g. a
+  // caller unwinding) keep the innermost, most precise position.
+  bool failed = false;
+  size_t err_offset = 0;
+  const char* err_message = "";
 
-  explicit Cursor(const std::string& s) : p(s.data()), end(s.data() + s.size()) {}
+  explicit Cursor(const std::string& s)
+      : begin(s.data()), p(s.data()), end(s.data() + s.size()) {}
 
   bool AtEnd() const { return p >= end; }
+
+  size_t Offset() const { return static_cast<size_t>(p - begin); }
+
+  // Records the first failure position and always returns false, so parse
+  // primitives can `return c.Fail("...")`.
+  bool Fail(const char* message) {
+    if (!failed) {
+      failed = true;
+      err_offset = Offset();
+      err_message = message;
+    }
+    return false;
+  }
+
+  // Fills `out` (if non-null) from the recorded failure, falling back to
+  // the current position when no primitive recorded one.
+  void ReportError(ParseError* out, const char* fallback) const {
+    if (out == nullptr) {
+      return;
+    }
+    out->offset = failed ? err_offset : Offset();
+    out->message = failed ? err_message : fallback;
+  }
 };
 
 inline void SkipWs(Cursor& c) {
@@ -47,33 +91,63 @@ inline bool Peek(Cursor& c, char ch) {
   return !c.AtEnd() && *c.p == ch;
 }
 
-// Parses a double-quoted string. Supports the escapes the writers emit
-// (\" \\ \/ \n \t); anything fancier fails.
+// Parses a double-quoted string. Supports the full JSON escape set
+// (\" \\ \/ \b \f \n \r \t) plus \uXXXX for ASCII code points; \uXXXX
+// above 0x7F is rejected (the writers only emit ASCII, and accepting a
+// partial UTF-8 transcoder would be worse than a clear error).
 inline bool ParseString(Cursor& c, std::string* out) {
   if (!Consume(c, '"')) {
-    return false;
+    return c.Fail("expected string");
   }
   out->clear();
   while (!c.AtEnd() && *c.p != '"') {
     char ch = *c.p++;
     if (ch == '\\') {
       if (c.AtEnd()) {
-        return false;
+        return c.Fail("unterminated escape");
       }
       char esc = *c.p++;
       switch (esc) {
         case '"': ch = '"'; break;
         case '\\': ch = '\\'; break;
         case '/': ch = '/'; break;
+        case 'b': ch = '\b'; break;
+        case 'f': ch = '\f'; break;
         case 'n': ch = '\n'; break;
+        case 'r': ch = '\r'; break;
         case 't': ch = '\t'; break;
-        default: return false;
+        case 'u': {
+          if (c.end - c.p < 4) {
+            return c.Fail("truncated \\u escape");
+          }
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *c.p++;
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return c.Fail("bad hex digit in \\u escape");
+            }
+          }
+          if (value > 0x7F) {
+            return c.Fail("non-ASCII \\u escape");
+          }
+          ch = static_cast<char>(value);
+          break;
+        }
+        default:
+          return c.Fail("unknown escape");
       }
     }
     out->push_back(ch);
   }
   if (c.AtEnd()) {
-    return false;
+    return c.Fail("unterminated string");
   }
   ++c.p;  // closing quote
   return true;
@@ -84,7 +158,7 @@ inline bool ParseInt(Cursor& c, int64_t* out) {
   char* endp = nullptr;
   long long v = std::strtoll(c.p, &endp, 10);
   if (endp == c.p || endp > c.end) {
-    return false;
+    return c.Fail("expected integer");
   }
   c.p = endp;
   *out = static_cast<int64_t>(v);
@@ -94,12 +168,12 @@ inline bool ParseInt(Cursor& c, int64_t* out) {
 inline bool ParseUint(Cursor& c, uint64_t* out) {
   SkipWs(c);
   if (!c.AtEnd() && *c.p == '-') {
-    return false;
+    return c.Fail("expected unsigned integer");
   }
   char* endp = nullptr;
   unsigned long long v = std::strtoull(c.p, &endp, 10);
   if (endp == c.p || endp > c.end) {
-    return false;
+    return c.Fail("expected unsigned integer");
   }
   c.p = endp;
   *out = static_cast<uint64_t>(v);
@@ -111,7 +185,7 @@ inline bool ParseDouble(Cursor& c, double* out) {
   char* endp = nullptr;
   double v = std::strtod(c.p, &endp);
   if (endp == c.p || endp > c.end) {
-    return false;
+    return c.Fail("expected number");
   }
   c.p = endp;
   *out = v;
@@ -138,7 +212,7 @@ inline bool ParseBool(Cursor& c, bool* out) {
     *out = false;
     return true;
   }
-  return false;
+  return c.Fail("expected true/false");
 }
 
 // Skips any JSON value (object / array / string / literal / number), for
@@ -146,7 +220,7 @@ inline bool ParseBool(Cursor& c, bool* out) {
 inline bool SkipValue(Cursor& c) {
   SkipWs(c);
   if (c.AtEnd()) {
-    return false;
+    return c.Fail("expected value");
   }
   char ch = *c.p;
   if (ch == '"') {
@@ -185,7 +259,7 @@ inline bool SkipValue(Cursor& c) {
                         *c.p == '-' || *c.p == '+' || *c.p == '.')) {
     ++c.p;
   }
-  return c.p > start;
+  return c.p > start || c.Fail("expected value");
 }
 
 // Escapes a string for embedding in JSON output.
@@ -196,9 +270,20 @@ inline std::string Escape(const std::string& s) {
     switch (ch) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default: out.push_back(ch);
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+        break;
     }
   }
   return out;

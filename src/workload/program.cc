@@ -224,19 +224,23 @@ bool ParseProgramObject(Cursor& c, WorkloadProgram* out) {
 
 }  // namespace
 
-bool ProgramFromJson(const std::string& json, WorkloadProgram* out) {
+bool ProgramFromJson(const std::string& json, WorkloadProgram* out,
+                     jsonmini::ParseError* err) {
   Cursor c(json);
   *out = WorkloadProgram();
   if (!ParseProgramObject(c, out)) {
+    c.ReportError(err, "malformed program JSON");
     return false;
   }
   // Basic sanity: indices must be inside the declared universe.
   if (out->num_procs < 1 || out->num_files < 1) {
+    c.ReportError(err, "program declares no processes or files");
     return false;
   }
   for (const StressOp& op : out->ops) {
     if (op.proc < 0 || op.proc >= out->num_procs || op.file < 0 ||
         op.file >= out->num_files || op.delay < 0) {
+      c.ReportError(err, "op indices outside the declared universe");
       return false;
     }
   }

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/sim/time.h"
+#include "src/workload/json_mini.h"
 
 namespace splitio {
 
@@ -75,8 +76,10 @@ struct WorkloadProgram {
 std::string ProgramToJson(const WorkloadProgram& program);
 
 // Parses ProgramToJson output (tolerant of whitespace, strict about
-// structure). Returns false on malformed input.
-bool ProgramFromJson(const std::string& json, WorkloadProgram* out);
+// structure). Returns false on malformed input; when `err` is non-null it
+// receives the byte offset and reason of the failure.
+bool ProgramFromJson(const std::string& json, WorkloadProgram* out,
+                     jsonmini::ParseError* err = nullptr);
 
 }  // namespace splitio
 

@@ -1,0 +1,310 @@
+#include "src/workload/trace/blktrace.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace splitio {
+namespace ingest {
+
+namespace {
+
+constexpr uint64_t kSectorBytes = 512;
+// Any single whitespace-delimited token longer than this is an overlong
+// field: real blkparse output never comes close, and unbounded tokens are
+// how a binary file masquerading as text would otherwise slip through.
+constexpr size_t kMaxToken = 256;
+
+// One line split into whitespace-separated tokens, with a shared error
+// sink. All token accessors fail (and record why) instead of crashing on
+// truncated input.
+struct LineScanner {
+  std::string_view line;
+  size_t pos = 0;
+  const char* error = nullptr;
+
+  bool Fail(const char* message) {
+    if (error == nullptr) {
+      error = message;
+    }
+    return false;
+  }
+
+  bool NextToken(std::string_view* tok) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+      ++pos;
+    }
+    if (pos >= line.size()) {
+      return Fail("truncated line");
+    }
+    size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') {
+      ++pos;
+    }
+    *tok = line.substr(start, pos - start);
+    if (tok->size() > kMaxToken) {
+      return Fail("overlong field");
+    }
+    return true;
+  }
+
+  bool AtEnd() {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+      ++pos;
+    }
+    return pos >= line.size();
+  }
+};
+
+bool ParseU64(std::string_view tok, uint64_t* out) {
+  if (tok.empty() || tok.size() > 20) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char ch : tok) {
+    if (ch < '0' || ch > '9') {
+      return false;
+    }
+    v = v * 10 + static_cast<uint64_t>(ch - '0');
+  }
+  *out = v;
+  return true;
+}
+
+// "maj,min" -> a single device id.
+bool ParseDev(std::string_view tok, int32_t* out) {
+  size_t comma = tok.find(',');
+  if (comma == std::string_view::npos) {
+    return false;
+  }
+  uint64_t maj = 0;
+  uint64_t min = 0;
+  if (!ParseU64(tok.substr(0, comma), &maj) ||
+      !ParseU64(tok.substr(comma + 1), &min) || maj > 0x7FF || min > 0xFFFFF) {
+    return false;
+  }
+  *out = static_cast<int32_t>((maj << 20) | min);
+  return true;
+}
+
+// "sec.nanos" with 1..9 fractional digits -> Nanos.
+bool ParseTimestamp(std::string_view tok, Nanos* out) {
+  size_t dot = tok.find('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 >= tok.size()) {
+    return false;
+  }
+  std::string_view frac = tok.substr(dot + 1);
+  if (frac.size() > 9) {
+    return false;
+  }
+  uint64_t sec = 0;
+  uint64_t sub = 0;
+  if (!ParseU64(tok.substr(0, dot), &sec) || !ParseU64(frac, &sub)) {
+    return false;
+  }
+  for (size_t i = frac.size(); i < 9; ++i) {
+    sub *= 10;
+  }
+  *out = static_cast<Nanos>(sec) * 1'000'000'000 + static_cast<Nanos>(sub);
+  return true;
+}
+
+// Known blktrace action codes. 'Q' is the one replay keeps; the rest are
+// lifecycle records of the same I/O (or plumbing events) and are skipped.
+bool KnownAction(std::string_view act) {
+  if (act.size() != 1) {
+    return false;
+  }
+  return std::strchr("QGIDCMFPUTABSXRNm", act[0]) != nullptr;
+}
+
+// Maps an RWBS flag string onto read/write/flush. Returns false for flag
+// letters blktrace never emits. A record with no data movement ("N") or a
+// pure-flush RWBS maps to kFlush via *is_flush / *is_data.
+bool ClassifyRwbs(std::string_view rwbs, bool* is_read, bool* is_write,
+                  bool* has_flush, bool* has_data) {
+  *is_read = *is_write = *has_flush = *has_data = false;
+  if (rwbs.empty()) {
+    return false;
+  }
+  for (char ch : rwbs) {
+    switch (ch) {
+      case 'R': *is_read = true; *has_data = true; break;
+      case 'W': *is_write = true; *has_data = true; break;
+      case 'D': *is_write = true; *has_data = true; break;  // discard ~ write
+      case 'F': *has_flush = true; break;
+      case 'N': break;  // no data
+      case 'A': break;  // readahead
+      case 'S': break;  // sync
+      case 'M': break;  // metadata
+      case 'B': break;  // barrier (legacy)
+      default: return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseBlktraceText(const std::string& text, ParsedTrace* out,
+                       TraceError* err) {
+  *out = ParsedTrace();
+  ParsedTrace trace;
+  Nanos prev_when = -1;
+  Nanos first_when = 0;
+  bool have_first = false;
+
+  size_t line_start = 0;
+  uint64_t line_no = 0;
+  auto fail = [&](const char* message) {
+    if (err != nullptr) {
+      err->line = line_no;
+      err->offset = line_start;
+      err->message = message;
+    }
+    *out = ParsedTrace();
+    return false;
+  };
+
+  while (line_start < text.size()) {
+    size_t eol = text.find('\n', line_start);
+    size_t line_end = eol == std::string::npos ? text.size() : eol;
+    ++line_no;
+    std::string_view line(text.data() + line_start, line_end - line_start);
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);  // CRLF tolerance
+    }
+    size_t next_start = eol == std::string::npos ? text.size() : eol + 1;
+
+    // Blank lines are tolerated; anything else must be a record line. A
+    // blkparse summary block ("CPU0 (sda): ...") must be trimmed before
+    // ingest — letting it through silently would hide real corruption.
+    bool blank = true;
+    for (char ch : line) {
+      if (ch != ' ' && ch != '\t') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) {
+      ++trace.lines_total;
+      line_start = next_start;
+      continue;
+    }
+
+    LineScanner scan{line};
+    std::string_view dev_tok, cpu_tok, seq_tok, time_tok, pid_tok, act_tok;
+    if (!scan.NextToken(&dev_tok) || !scan.NextToken(&cpu_tok) ||
+        !scan.NextToken(&seq_tok) || !scan.NextToken(&time_tok) ||
+        !scan.NextToken(&pid_tok) || !scan.NextToken(&act_tok)) {
+      return fail(scan.error);
+    }
+    int32_t device = 0;
+    uint64_t cpu = 0;
+    uint64_t seq = 0;
+    Nanos when = 0;
+    uint64_t pid = 0;
+    if (!ParseDev(dev_tok, &device)) {
+      return fail("bad device field (expected maj,min)");
+    }
+    if (!ParseU64(cpu_tok, &cpu) || !ParseU64(seq_tok, &seq)) {
+      return fail("bad cpu/sequence field");
+    }
+    if (!ParseTimestamp(time_tok, &when)) {
+      return fail("bad timestamp field (expected sec.nanos)");
+    }
+    if (!ParseU64(pid_tok, &pid) || pid > INT32_MAX) {
+      return fail("bad pid field");
+    }
+    if (!KnownAction(act_tok)) {
+      return fail("unknown record type (action code)");
+    }
+    if (prev_when >= 0 && when < prev_when) {
+      return fail("out-of-order timestamp");
+    }
+    prev_when = when;
+    if (!have_first) {
+      first_when = when;
+      have_first = true;
+    }
+
+    ++trace.lines_total;
+    if (act_tok != "Q") {
+      // Lifecycle/plumbing records ride along with looser payloads (remaps
+      // carry "<- (dev) sector", messages carry free text); the fields that
+      // matter for ordering were already validated above.
+      ++trace.lines_skipped;
+      line_start = next_start;
+      continue;
+    }
+
+    std::string_view rwbs_tok;
+    if (!scan.NextToken(&rwbs_tok)) {
+      return fail(scan.error);
+    }
+    bool is_read = false;
+    bool is_write = false;
+    bool has_flush = false;
+    bool has_data = false;
+    if (!ClassifyRwbs(rwbs_tok, &is_read, &is_write, &has_flush, &has_data)) {
+      return fail("unknown record type (rwbs flag)");
+    }
+
+    // Payload: either "sector + sectors [comm]" or, for barrier-only
+    // records, straight to "[comm]".
+    uint64_t sector = 0;
+    uint64_t nsectors = 0;
+    std::string_view tok;
+    if (!scan.NextToken(&tok)) {
+      return fail(scan.error);
+    }
+    if (tok.front() != '[') {
+      if (!ParseU64(tok, &sector)) {
+        return fail("bad sector field");
+      }
+      std::string_view plus, count;
+      if (!scan.NextToken(&plus) || plus != "+" || !scan.NextToken(&count)) {
+        return fail("truncated line (expected `+ sectors`)");
+      }
+      if (!ParseU64(count, &nsectors)) {
+        return fail("bad sector-count field");
+      }
+      if (!scan.AtEnd() && !scan.NextToken(&tok)) {
+        return fail(scan.error);
+      }
+    }
+
+    TraceRecord rec;
+    rec.when = when - first_when;
+    rec.pid = static_cast<int32_t>(pid);
+    rec.device = device;
+    rec.offset = sector * kSectorBytes;
+    rec.len = nsectors * kSectorBytes;
+    if (has_data && nsectors > 0) {
+      rec.kind = is_read ? TraceOpKind::kRead : TraceOpKind::kWrite;
+    } else if (has_flush) {
+      rec.kind = TraceOpKind::kFlush;
+      rec.offset = 0;
+      rec.len = 0;
+    } else {
+      // An empty queue record ("N", or zero sectors without flush
+      // semantics) carries no replayable I/O.
+      ++trace.lines_skipped;
+      line_start = next_start;
+      continue;
+    }
+    trace.records.push_back(rec);
+    line_start = next_start;
+  }
+
+  if (trace.records.empty()) {
+    line_no = line_no == 0 ? 1 : line_no;
+    line_start = 0;
+    return fail("trace contains no queue records");
+  }
+  *out = std::move(trace);
+  return true;
+}
+
+}  // namespace ingest
+}  // namespace splitio

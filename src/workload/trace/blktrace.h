@@ -1,0 +1,31 @@
+// Parser for blktrace text output (the default `blkparse` line format):
+//
+//   8,0    3       11     0.009507758   697  Q   W 223490 + 8 [kjournald]
+//   dev    cpu     seq    sec.nsec      pid  act rwbs sector + sectors [comm]
+//
+// Only 'Q' (queue) records become TraceRecords — they mark where the traced
+// application *submitted* I/O, which is what replay reconstructs. Other
+// known action codes (G I D C M F P U T A B S X R N m) are counted and
+// skipped; an unknown action code is a parse error, as are truncated
+// lines, overlong fields, and timestamps that go backwards (blkparse
+// output is globally time-sorted; a violation means the file is corrupt or
+// mis-spliced). Lines may end in CRLF.
+#ifndef SRC_WORKLOAD_TRACE_BLKTRACE_H_
+#define SRC_WORKLOAD_TRACE_BLKTRACE_H_
+
+#include <string>
+
+#include "src/workload/trace/record.h"
+
+namespace splitio {
+namespace ingest {
+
+// Parses a whole blktrace text file. On failure returns false, leaves
+// *out empty, and fills *err (never a partial trace). `err` may be null.
+bool ParseBlktraceText(const std::string& text, ParsedTrace* out,
+                       TraceError* err);
+
+}  // namespace ingest
+}  // namespace splitio
+
+#endif  // SRC_WORKLOAD_TRACE_BLKTRACE_H_

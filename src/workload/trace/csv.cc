@@ -1,0 +1,200 @@
+#include "src/workload/trace/csv.h"
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace splitio {
+namespace ingest {
+
+namespace {
+
+// MSR CSV fields never approach this; an unbounded field means the input
+// is not a trace (or is corrupt).
+constexpr size_t kMaxField = 256;
+constexpr int kColumns = 7;
+
+bool ParseU64(std::string_view tok, uint64_t* out) {
+  if (tok.empty() || tok.size() > 20) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char ch : tok) {
+    if (ch < '0' || ch > '9') {
+      return false;
+    }
+    v = v * 10 + static_cast<uint64_t>(ch - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i] >= 'A' && a[i] <= 'Z' ? static_cast<char>(a[i] + 32) : a[i];
+    char cb = b[i] >= 'A' && b[i] <= 'Z' ? static_cast<char>(b[i] + 32) : b[i];
+    if (ca != cb) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Splits one CSV line into exactly kColumns comma-separated fields.
+// Returns the failure message, or nullptr on success. Quoting is not part
+// of the MSR format, so commas are unconditional separators.
+const char* SplitColumns(std::string_view line,
+                         std::string_view fields[kColumns]) {
+  int n = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      if (n >= kColumns) {
+        return "too many fields";
+      }
+      std::string_view f = line.substr(start, i - start);
+      if (f.size() > kMaxField) {
+        return "overlong field";
+      }
+      fields[n++] = f;
+      start = i + 1;
+    }
+  }
+  if (n < kColumns) {
+    return "truncated line (expected 7 comma-separated fields)";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool ParseMsrCsv(const std::string& text, ParsedTrace* out, TraceError* err) {
+  *out = ParsedTrace();
+  ParsedTrace trace;
+  // (hostname, disk) -> synthetic pid, in first-appearance order.
+  std::map<std::pair<std::string, uint64_t>, int32_t> streams;
+  uint64_t prev_ts = 0;
+  uint64_t first_ts = 0;
+  bool have_first = false;
+
+  size_t line_start = 0;
+  uint64_t line_no = 0;
+  auto fail = [&](const char* message) {
+    if (err != nullptr) {
+      err->line = line_no;
+      err->offset = line_start;
+      err->message = message;
+    }
+    *out = ParsedTrace();
+    return false;
+  };
+
+  while (line_start < text.size()) {
+    size_t eol = text.find('\n', line_start);
+    size_t line_end = eol == std::string::npos ? text.size() : eol;
+    ++line_no;
+    std::string_view line(text.data() + line_start, line_end - line_start);
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);  // CRLF tolerance
+    }
+    size_t next_start = eol == std::string::npos ? text.size() : eol + 1;
+
+    if (line.empty()) {
+      ++trace.lines_total;
+      line_start = next_start;
+      continue;
+    }
+
+    std::string_view fields[kColumns];
+    if (const char* msg = SplitColumns(line, fields)) {
+      return fail(msg);
+    }
+
+    // A header line ("Timestamp,Hostname,...") is identified by a
+    // non-numeric first field on line 1 only.
+    uint64_t ts = 0;
+    if (!ParseU64(fields[0], &ts)) {
+      if (line_no == 1 && EqualsIgnoreCase(fields[0], "timestamp")) {
+        ++trace.lines_total;
+        ++trace.lines_skipped;
+        line_start = next_start;
+        continue;
+      }
+      return fail("bad timestamp field");
+    }
+    if (have_first && ts < prev_ts) {
+      return fail("out-of-order timestamp");
+    }
+    prev_ts = ts;
+    if (!have_first) {
+      first_ts = ts;
+      have_first = true;
+    }
+
+    if (fields[1].empty() || fields[1].size() > 64) {
+      return fail("bad hostname field");
+    }
+    uint64_t disk = 0;
+    if (!ParseU64(fields[2], &disk) || disk > INT32_MAX) {
+      return fail("bad disk-number field");
+    }
+
+    TraceOpKind kind;
+    if (EqualsIgnoreCase(fields[3], "read")) {
+      kind = TraceOpKind::kRead;
+    } else if (EqualsIgnoreCase(fields[3], "write")) {
+      kind = TraceOpKind::kWrite;
+    } else if (EqualsIgnoreCase(fields[3], "flush")) {
+      kind = TraceOpKind::kFlush;
+    } else {
+      return fail("unknown record type (Type column)");
+    }
+
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    if (!ParseU64(fields[4], &offset)) {
+      return fail("bad offset field");
+    }
+    if (!ParseU64(fields[5], &size)) {
+      return fail("bad size field");
+    }
+    uint64_t response = 0;
+    if (!ParseU64(fields[6], &response)) {
+      return fail("bad response-time field");
+    }
+
+    auto key = std::make_pair(std::string(fields[1]), disk);
+    auto it = streams.find(key);
+    if (it == streams.end()) {
+      it = streams.emplace(std::move(key),
+                           static_cast<int32_t>(streams.size() + 1)).first;
+    }
+
+    TraceRecord rec;
+    rec.when = static_cast<Nanos>(ts - first_ts) * 100;  // filetime: 100 ns
+    rec.pid = it->second;
+    rec.device = static_cast<int32_t>(disk);
+    rec.kind = kind;
+    rec.offset = kind == TraceOpKind::kFlush ? 0 : offset;
+    rec.len = kind == TraceOpKind::kFlush ? 0 : size;
+    ++trace.lines_total;
+    trace.records.push_back(rec);
+    line_start = next_start;
+  }
+
+  if (trace.records.empty()) {
+    line_no = line_no == 0 ? 1 : line_no;
+    line_start = 0;
+    return fail("trace contains no records");
+  }
+  *out = std::move(trace);
+  return true;
+}
+
+}  // namespace ingest
+}  // namespace splitio

@@ -1,0 +1,34 @@
+// Parser for MSR-Cambridge / SNIA block-trace CSV:
+//
+//   Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//   128166372003061629,hm,1,Read,383496192,32768,113736
+//
+// Timestamp is a Windows filetime (100 ns ticks since 1601); Offset and
+// Size are bytes; ResponseTime is in 100 ns ticks (ignored — the replay
+// measures its own latencies). Type is Read/Write (case-insensitive);
+// Flush is accepted as an extension for traces that record cache flushes.
+// An optional header line naming the columns is skipped.
+//
+// There is no PID column, so the (Hostname, DiskNumber) pair becomes the
+// submitting stream: each distinct pair is assigned a synthetic pid in
+// first-appearance order, and DiskNumber becomes the device id.
+#ifndef SRC_WORKLOAD_TRACE_CSV_H_
+#define SRC_WORKLOAD_TRACE_CSV_H_
+
+#include <string>
+
+#include "src/workload/trace/record.h"
+
+namespace splitio {
+namespace ingest {
+
+// Parses a whole CSV trace. On failure returns false, leaves *out empty,
+// and fills *err (never a partial trace). `err` may be null. Timestamps
+// must be non-decreasing, fields must all be present, and unknown Type
+// values are errors.
+bool ParseMsrCsv(const std::string& text, ParsedTrace* out, TraceError* err);
+
+}  // namespace ingest
+}  // namespace splitio
+
+#endif  // SRC_WORKLOAD_TRACE_CSV_H_

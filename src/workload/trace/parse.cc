@@ -1,0 +1,107 @@
+#include "src/workload/trace/parse.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/workload/trace/blktrace.h"
+#include "src/workload/trace/csv.h"
+
+namespace splitio {
+namespace ingest {
+
+const char* TraceOpKindName(TraceOpKind kind) {
+  switch (kind) {
+    case TraceOpKind::kRead: return "read";
+    case TraceOpKind::kWrite: return "write";
+    case TraceOpKind::kFlush: return "flush";
+  }
+  return "?";
+}
+
+const char* TraceFormatName(TraceFormat format) {
+  switch (format) {
+    case TraceFormat::kAuto: return "auto";
+    case TraceFormat::kBlktrace: return "blktrace";
+    case TraceFormat::kMsrCsv: return "msr-csv";
+  }
+  return "?";
+}
+
+TraceFormat DetectTraceFormat(const std::string& text) {
+  // Sniff the first non-blank line: MSR CSV lines contain commas between
+  // every field and no spaces; blktrace record lines are space-separated
+  // with the only comma inside the "maj,min" device token.
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    size_t end = eol == std::string::npos ? text.size() : eol;
+    size_t begin = pos;
+    while (begin < end && (text[begin] == ' ' || text[begin] == '\t')) {
+      ++begin;
+    }
+    size_t stop = end;
+    if (stop > begin && text[stop - 1] == '\r') {
+      --stop;
+    }
+    if (begin < stop) {
+      std::string_view line(text.data() + begin, stop - begin);
+      bool has_space = line.find(' ') != std::string_view::npos ||
+                       line.find('\t') != std::string_view::npos;
+      size_t commas = 0;
+      for (char ch : line) {
+        commas += ch == ',' ? 1 : 0;
+      }
+      if (!has_space && commas >= 6) {
+        return TraceFormat::kMsrCsv;
+      }
+      if (has_space && commas >= 1) {
+        return TraceFormat::kBlktrace;
+      }
+      return TraceFormat::kAuto;  // unrecognized shape
+    }
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+  }
+  return TraceFormat::kAuto;
+}
+
+bool ParseTraceText(const std::string& text, TraceFormat format,
+                    ParsedTrace* out, TraceError* err) {
+  if (format == TraceFormat::kAuto) {
+    format = DetectTraceFormat(text);
+  }
+  switch (format) {
+    case TraceFormat::kBlktrace:
+      return ParseBlktraceText(text, out, err);
+    case TraceFormat::kMsrCsv:
+      return ParseMsrCsv(text, out, err);
+    case TraceFormat::kAuto:
+      break;
+  }
+  *out = ParsedTrace();
+  if (err != nullptr) {
+    err->line = 1;
+    err->offset = 0;
+    err->message = "unrecognized trace format";
+  }
+  return false;
+}
+
+bool LoadTraceFile(const std::string& path, TraceFormat format,
+                   ParsedTrace* out, TraceError* err) {
+  *out = ParsedTrace();
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    if (err != nullptr) {
+      err->line = 0;
+      err->offset = 0;
+      err->message = "cannot open trace file " + path;
+    }
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseTraceText(buf.str(), format, out, err);
+}
+
+}  // namespace ingest
+}  // namespace splitio

@@ -1,0 +1,38 @@
+// Format autodetection and file loading for trace ingest.
+//
+// Callers normally go through LoadTraceFile: it reads the file, sniffs the
+// format from the first non-blank line (commas and a filetime-sized first
+// column mean MSR CSV; otherwise blktrace text), and dispatches to the
+// matching parser. ParseTraceText does the same on an in-memory buffer.
+#ifndef SRC_WORKLOAD_TRACE_PARSE_H_
+#define SRC_WORKLOAD_TRACE_PARSE_H_
+
+#include <string>
+
+#include "src/workload/trace/record.h"
+
+namespace splitio {
+namespace ingest {
+
+enum class TraceFormat { kAuto, kBlktrace, kMsrCsv };
+
+const char* TraceFormatName(TraceFormat format);
+
+// Sniffs the format of a trace buffer. Returns kAuto if the buffer matches
+// neither known shape (callers treat that as an error).
+TraceFormat DetectTraceFormat(const std::string& text);
+
+// Parses `text` in the given (or detected) format. On failure returns
+// false, leaves *out empty, and fills *err.
+bool ParseTraceText(const std::string& text, TraceFormat format,
+                    ParsedTrace* out, TraceError* err);
+
+// Reads and parses a trace file. Unreadable files fail with line 0 and the
+// filename in the message.
+bool LoadTraceFile(const std::string& path, TraceFormat format,
+                   ParsedTrace* out, TraceError* err);
+
+}  // namespace ingest
+}  // namespace splitio
+
+#endif  // SRC_WORKLOAD_TRACE_PARSE_H_

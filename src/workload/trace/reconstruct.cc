@@ -1,0 +1,124 @@
+#include "src/workload/trace/reconstruct.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace splitio {
+namespace ingest {
+
+bool Reconstruct(const ParsedTrace& trace, const ReconstructOptions& options,
+                 WorkloadProgram* out, ReconstructStats* stats,
+                 std::string* error) {
+  *out = WorkloadProgram();
+  if (stats != nullptr) {
+    *stats = ReconstructStats();
+  }
+  if (trace.records.empty()) {
+    if (error != nullptr) {
+      *error = "trace has no records";
+    }
+    return false;
+  }
+  if (options.max_procs < 1 || options.max_files < 1 ||
+      options.file_region_bytes == 0) {
+    if (error != nullptr) {
+      *error = "reconstruct options must allow >=1 proc, >=1 file, and a "
+               "non-zero file region";
+    }
+    return false;
+  }
+
+  WorkloadProgram program;
+  ReconstructStats st;
+  // (pid, device) -> stream index, and device -> device index, both in
+  // first-appearance order so reconstruction is input-deterministic.
+  std::map<std::pair<int32_t, int32_t>, int> streams;
+  std::map<int32_t, int> devices;
+  std::vector<Nanos> last_when;   // per proc, trace time of previous op
+  std::vector<int> last_file;     // per proc, last touched file
+  last_when.resize(static_cast<size_t>(options.max_procs), -1);
+  last_file.resize(static_cast<size_t>(options.max_procs), 0);
+  int max_proc = 0;
+  int max_file = 0;
+
+  for (const TraceRecord& rec : trace.records) {
+    ++st.records_in;
+    if (options.max_ops != 0 && program.ops.size() >= options.max_ops) {
+      break;
+    }
+    auto skey = std::make_pair(rec.pid, rec.device);
+    auto sit = streams.find(skey);
+    if (sit == streams.end()) {
+      sit = streams.emplace(skey, static_cast<int>(streams.size())).first;
+    }
+    int proc = sit->second % options.max_procs;
+    auto dit = devices.find(rec.device);
+    if (dit == devices.end()) {
+      dit = devices.emplace(rec.device, static_cast<int>(devices.size())).first;
+    }
+
+    StressOp op;
+    op.proc = proc;
+    if (rec.kind == TraceOpKind::kFlush) {
+      op.kind = StressOpKind::kFsync;
+      op.file = last_file[static_cast<size_t>(proc)];
+      ++st.fsyncs;
+    } else {
+      if (rec.len == 0) {
+        continue;  // zero-length data record: nothing to replay
+      }
+      op.kind = rec.kind == TraceOpKind::kRead ? StressOpKind::kRead
+                                               : StressOpKind::kWrite;
+      uint64_t region = rec.offset / options.file_region_bytes;
+      op.file = static_cast<int>(
+          (static_cast<uint64_t>(dit->second) + region) %
+          static_cast<uint64_t>(options.max_files));
+      op.offset = rec.offset % options.file_region_bytes;
+      op.len = std::min(rec.len, options.max_io_bytes);
+      // Keep the op inside its region so file sizes stay bounded by the
+      // region size regardless of where the original I/O straddled.
+      op.len = std::min(op.len, options.file_region_bytes - op.offset);
+      last_file[static_cast<size_t>(proc)] = op.file;
+      st.bytes += op.len;
+      if (op.kind == StressOpKind::kRead) {
+        ++st.reads;
+      } else {
+        ++st.writes;
+      }
+    }
+
+    // Preserve the stream's inter-arrival gap as think time. The first op
+    // of a process starts immediately; gaps are measured in trace time
+    // between consecutive ops that landed on the same process.
+    Nanos prev = last_when[static_cast<size_t>(proc)];
+    Nanos gap = prev < 0 ? 0 : rec.when - prev;
+    last_when[static_cast<size_t>(proc)] = rec.when;
+    double scaled = static_cast<double>(gap) * options.time_scale;
+    Nanos delay = scaled <= 0 ? 0 : static_cast<Nanos>(scaled);
+    op.delay = std::min(delay, options.max_delay);
+
+    max_proc = std::max(max_proc, op.proc);
+    max_file = std::max(max_file, op.file);
+    program.ops.push_back(op);
+  }
+
+  if (program.ops.empty()) {
+    if (error != nullptr) {
+      *error = "trace reconstructed to an empty program";
+    }
+    return false;
+  }
+  program.num_procs = max_proc + 1;
+  program.num_files = max_file + 1;
+  st.ops_out = program.ops.size();
+  st.streams = static_cast<int>(streams.size());
+  *out = std::move(program);
+  if (stats != nullptr) {
+    *stats = st;
+  }
+  return true;
+}
+
+}  // namespace ingest
+}  // namespace splitio

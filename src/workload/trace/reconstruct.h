@@ -1,0 +1,63 @@
+// Turns a parsed trace into a WorkloadProgram the stress executor (and
+// hence the replay driver) can run.
+//
+// Each distinct (pid, device) pair in the trace is a submitting stream;
+// streams map onto program processes in first-appearance order, wrapping
+// at max_procs so a trace with hundreds of processes still fits the
+// simulated stack. Device offsets map onto the program's shared files by
+// region: file = (device_index + offset / file_region_bytes) % max_files,
+// offset_in_file = offset % file_region_bytes — preserving locality (hot
+// regions stay hot, sequential runs stay sequential) while bounding
+// simulated file sizes. Flushes become fsyncs on the stream's last-touched
+// file. Inter-arrival gaps within each stream are preserved as per-op
+// think times, scaled by time_scale and clamped to max_delay so a
+// multi-hour trace replays inside the simulator horizon.
+//
+// The output obeys the program determinism contract (program.h): only
+// write/read/fsync ops are emitted, all offsets and lengths are explicit,
+// and per-process op order follows trace time order.
+#ifndef SRC_WORKLOAD_TRACE_RECONSTRUCT_H_
+#define SRC_WORKLOAD_TRACE_RECONSTRUCT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/time.h"
+#include "src/workload/program.h"
+#include "src/workload/trace/record.h"
+
+namespace splitio {
+namespace ingest {
+
+struct ReconstructOptions {
+  int max_procs = 8;                    // program processes (streams wrap)
+  int max_files = 4;                    // shared files (regions wrap)
+  uint64_t file_region_bytes = 4ull << 20;  // device bytes per file region
+  uint64_t max_io_bytes = 256 * 1024;   // clamp a single op's length
+  Nanos max_delay = Msec(50);           // clamp per-op think time
+  double time_scale = 1.0;              // multiply inter-arrival gaps
+  uint64_t max_ops = 0;                 // 0 = keep every record
+};
+
+// Per-stream accounting from a reconstruction, for reporting.
+struct ReconstructStats {
+  uint64_t records_in = 0;
+  uint64_t ops_out = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t bytes = 0;
+  int streams = 0;  // distinct (pid, device) pairs seen
+};
+
+// Builds a program from `trace`. Returns false only for an empty trace or
+// nonsensical options (max_procs/max_files < 1, file_region_bytes == 0);
+// `error` gets the reason.
+bool Reconstruct(const ParsedTrace& trace, const ReconstructOptions& options,
+                 WorkloadProgram* out, ReconstructStats* stats,
+                 std::string* error);
+
+}  // namespace ingest
+}  // namespace splitio
+
+#endif  // SRC_WORKLOAD_TRACE_RECONSTRUCT_H_

@@ -1,0 +1,64 @@
+// Real-trace ingestion: the normalized record every parser produces.
+//
+// A trace file (blktrace text output, MSR-Cambridge/SNIA CSV) is parsed
+// into a flat, time-ordered vector of TraceRecords — one per block I/O the
+// traced system issued. The reconstructor (reconstruct.h) then groups
+// records by submitting stream (pid × device) into a per-process
+// WorkloadProgram that preserves inter-arrival timing, offsets, sizes, and
+// the read/write/flush mix, so the replay driver (replay.h) can push real
+// workloads through the simulated stack under every scheduler.
+//
+// Parsers are strict: a malformed line, an out-of-order timestamp, or an
+// unknown record type fails the whole parse with a line/byte position
+// rather than silently yielding a partial trace — a truncated download
+// should be diagnosed, not replayed.
+#ifndef SRC_WORKLOAD_TRACE_RECORD_H_
+#define SRC_WORKLOAD_TRACE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace splitio {
+namespace ingest {
+
+enum class TraceOpKind : uint8_t { kRead, kWrite, kFlush };
+
+const char* TraceOpKindName(TraceOpKind kind);
+
+struct TraceRecord {
+  Nanos when = 0;       // relative to the first record in the trace
+  int32_t pid = 0;      // submitting process (blktrace) or stream (CSV)
+  int32_t device = 0;   // device identity (major<<20|minor, or disk number)
+  TraceOpKind kind = TraceOpKind::kRead;
+  uint64_t offset = 0;  // bytes from the start of the device
+  uint64_t len = 0;     // bytes; 0 for flushes
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+struct ParsedTrace {
+  std::vector<TraceRecord> records;
+  uint64_t lines_total = 0;    // lines seen (including skipped/blank)
+  uint64_t lines_skipped = 0;  // well-formed lines carrying no I/O record
+};
+
+// Where and why a trace parse failed. `line` is 1-based; `offset` is the
+// byte offset of the offending line's start in the input.
+struct TraceError {
+  uint64_t line = 0;
+  size_t offset = 0;
+  std::string message;
+
+  std::string Describe() const {
+    return message + " at line " + std::to_string(line) + " (byte " +
+           std::to_string(offset) + ")";
+  }
+};
+
+}  // namespace ingest
+}  // namespace splitio
+
+#endif  // SRC_WORKLOAD_TRACE_RECORD_H_

@@ -1,0 +1,117 @@
+#include "src/workload/trace/replay.h"
+
+#include <utility>
+
+#include "src/stress/executor.h"
+#include "src/stress/scenario.h"
+
+namespace splitio {
+namespace ingest {
+
+namespace {
+
+// FNV-1a, the same construction the stress fingerprints use: fast, stable,
+// and good enough to catch any real divergence byte-for-byte.
+struct Fnv {
+  uint64_t h = 1469598103934665603ull;
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+}  // namespace
+
+WorkloadProgram RepeatProgram(const WorkloadProgram& program, int times) {
+  if (times <= 1) {
+    return program;
+  }
+  WorkloadProgram out = program;
+  out.ops.reserve(program.ops.size() * static_cast<size_t>(times));
+  for (int i = 1; i < times; ++i) {
+    out.ops.insert(out.ops.end(), program.ops.begin(), program.ops.end());
+  }
+  return out;
+}
+
+uint64_t ContentFingerprint(bool all_ops_completed,
+                            const std::vector<int64_t>& op_results,
+                            const std::vector<uint64_t>& file_sizes) {
+  Fnv fnv;
+  fnv.Mix(all_ops_completed ? 1 : 0);
+  fnv.Mix(op_results.size());
+  for (int64_t r : op_results) {
+    fnv.Mix(static_cast<uint64_t>(r));
+  }
+  fnv.Mix(file_sizes.size());
+  for (uint64_t s : file_sizes) {
+    fnv.Mix(s);
+  }
+  return fnv.h;
+}
+
+bool ReplayTrace(const ParsedTrace& trace,
+                 const ReconstructOptions& reconstruct,
+                 const ReplayOptions& options, ReplayReport* report,
+                 std::string* error) {
+  *report = ReplayReport();
+  WorkloadProgram program;
+  if (!Reconstruct(trace, reconstruct, &program, &report->reconstruct,
+                   error)) {
+    return false;
+  }
+  program = RepeatProgram(program, options.repeat);
+  report->program_ops = program.ops.size();
+
+  Scenario scenario;
+  scenario.seed = options.seed;
+  scenario.stack.fs = options.fs;
+  scenario.stack.device = options.device;
+  scenario.program = std::move(program);
+
+  ExecOptions exec;
+  exec.horizon = options.horizon;
+
+  bool ok = true;
+  for (SchedKind sched : kAllSchedKinds) {
+    if (options.only_sched >= 0 &&
+        static_cast<int>(sched) != options.only_sched) {
+      continue;
+    }
+    scenario.stack.sched = sched;
+    ExecResult result = ExecuteScenario(scenario, exec);
+
+    SchedReplayResult r;
+    r.sched = sched;
+    r.all_ops_completed = result.all_ops_completed;
+    r.ops = scenario.program.ops.size();
+    r.ops_done_at = result.ops_done_at;
+    r.submitted = result.submitted;
+    r.completed = result.completed;
+    r.merged = result.merged;
+    r.device_bytes_read = result.device_bytes_read;
+    r.device_bytes_written = result.device_bytes_written;
+    r.fingerprint = ContentFingerprint(result.all_ops_completed,
+                                       result.op_results, result.file_sizes);
+    report->per_sched.push_back(r);
+    if (!result.all_ops_completed) {
+      ok = false;
+      if (error != nullptr && error->empty()) {
+        *error = std::string("replay did not complete under ") +
+                 SchedName(sched);
+      }
+    }
+  }
+  if (report->per_sched.empty()) {
+    ok = false;
+    if (error != nullptr && error->empty()) {
+      *error = "no scheduler selected";
+    }
+  }
+  return ok;
+}
+
+}  // namespace ingest
+}  // namespace splitio

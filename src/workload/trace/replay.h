@@ -1,0 +1,85 @@
+// Replay driver: runs a reconstructed trace program through the simulated
+// storage stack under every scheduler.
+//
+// Replay wraps the reconstructed WorkloadProgram in a Scenario (fixed
+// fault-free stack, seed only feeding the device model) and executes it
+// once per SchedKind via the stress executor. Each run reports request
+// counts, simulated completion time, and a content fingerprint — a hash of
+// per-op results and final file sizes. The determinism contract
+// (program.h) implies the fingerprint is identical across schedulers and
+// across repeated runs of the same (trace, seed); the determinism ctest
+// and the cross-scheduler check in bench_trace_replay both pin this.
+#ifndef SRC_WORKLOAD_TRACE_REPLAY_H_
+#define SRC_WORKLOAD_TRACE_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/sched_factory.h"
+#include "src/core/storage_stack.h"
+#include "src/sim/time.h"
+#include "src/workload/program.h"
+#include "src/workload/trace/record.h"
+#include "src/workload/trace/reconstruct.h"
+
+namespace splitio {
+namespace ingest {
+
+struct ReplayOptions {
+  uint64_t seed = 1;
+  StackConfig::FsKind fs = StackConfig::FsKind::kExt4;
+  StackConfig::DeviceKind device = StackConfig::DeviceKind::kSsd;
+  // Concatenate the program with itself this many times before running —
+  // how a small committed trace slice becomes a million-request replay.
+  int repeat = 1;
+  // Generous: replay programs are op-bounded, and simulator cost scales
+  // with events, not horizon.
+  Nanos horizon = Sec(300);
+  // Restrict to one scheduler (by enum value) when >= 0.
+  int only_sched = -1;
+};
+
+struct SchedReplayResult {
+  SchedKind sched = SchedKind::kNoop;
+  bool all_ops_completed = false;
+  uint64_t ops = 0;             // program ops executed
+  Nanos ops_done_at = 0;        // simulated time at completion
+  uint64_t submitted = 0;       // block requests
+  uint64_t completed = 0;
+  uint64_t merged = 0;
+  uint64_t device_bytes_read = 0;
+  uint64_t device_bytes_written = 0;
+  uint64_t fingerprint = 0;     // content hash (op results + file sizes)
+};
+
+struct ReplayReport {
+  ReconstructStats reconstruct;
+  uint64_t program_ops = 0;     // after repeat amplification
+  std::vector<SchedReplayResult> per_sched;
+};
+
+// Returns `program` concatenated with itself `times` times (times < 1 is
+// treated as 1). Process/file universes are unchanged.
+WorkloadProgram RepeatProgram(const WorkloadProgram& program, int times);
+
+// Stable content hash of an execution: op results, file sizes, and
+// completion. Equal across schedulers for fault-free programs.
+uint64_t ContentFingerprint(bool all_ops_completed,
+                            const std::vector<int64_t>& op_results,
+                            const std::vector<uint64_t>& file_sizes);
+
+// Reconstructs `trace` with `reconstruct` options and replays it under
+// every scheduler (or just options.only_sched). Returns false if
+// reconstruction fails or any scheduler failed to complete the program;
+// `error` gets the reason. The report is filled either way (partial on
+// failure, for diagnostics).
+bool ReplayTrace(const ParsedTrace& trace,
+                 const ReconstructOptions& reconstruct,
+                 const ReplayOptions& options, ReplayReport* report,
+                 std::string* error);
+
+}  // namespace ingest
+}  // namespace splitio
+
+#endif  // SRC_WORKLOAD_TRACE_REPLAY_H_

@@ -1,0 +1,46 @@
+# Trace slice -> repro -> `stress_runner --replay` round trip.
+#
+# Converts TRACE to a repro file twice (the two conversions must be
+# byte-identical), then replays the repro through stress_runner, which must
+# exit 0 ("reproduced"). Extra trace2repro arguments (e.g. a negative
+# control) come in via CONVERT_ARGS, semicolon-separated.
+#
+# Usage:
+#   cmake -DTRACE2REPRO=... -DSTRESS_RUNNER=... -DTRACE=... -DWORKDIR=...
+#         [-DCONVERT_ARGS=--control;drop-completion;...]
+#         -P check_trace_repro_roundtrip.cmake
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(repro_a ${WORKDIR}/repro_a.json)
+set(repro_b ${WORKDIR}/repro_b.json)
+
+foreach(out ${repro_a} ${repro_b})
+  execute_process(
+    COMMAND ${TRACE2REPRO} ${TRACE} --out ${out} ${CONVERT_ARGS}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace2repro failed (${rc}):\n${stdout}\n${stderr}")
+  endif()
+endforeach()
+
+# Conversion is deterministic: same trace -> byte-identical repro files.
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${repro_a} ${repro_b} RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "trace2repro produced differing repro files for the "
+                      "same trace: ${repro_a} vs ${repro_b}")
+endif()
+
+# The repro replays byte-identically: exit 0 means the recorded oracle (or
+# recorded cleanliness) was reproduced exactly.
+execute_process(
+  COMMAND ${STRESS_RUNNER} --replay ${repro_a}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "stress_runner --replay failed (${rc}):\n"
+                      "${stdout}\n${stderr}")
+endif()
+if(NOT stdout MATCHES "reproduced")
+  message(FATAL_ERROR "replay output did not confirm reproduction:\n"
+                      "${stdout}")
+endif()

@@ -14,40 +14,53 @@ TEST(LatencyRecorder, PercentilesOnKnownDistribution) {
   }
   EXPECT_EQ(rec.count(), 100u);
   EXPECT_EQ(rec.Percentile(0), Msec(1));
-  // Rank 0.5 * 99 = 49.5: halfway between the 50th and 51st samples.
-  EXPECT_EQ(rec.Percentile(50), Msec(50) + Msec(1) / 2);
-  // Rank 0.99 * 99 = 98.01: just above the 99th sample.
-  EXPECT_NEAR(static_cast<double>(rec.Percentile(99)),
-              static_cast<double>(Msec(99)) + 0.01 * Msec(1), 2.0);
+  // Nearest-rank: ceil(0.50 * 100) = the 50th sample.
+  EXPECT_EQ(rec.Percentile(50), Msec(50));
+  EXPECT_EQ(rec.Percentile(90), Msec(90));
+  EXPECT_EQ(rec.Percentile(99), Msec(99));
+  // ceil(0.999 * 100) = 100: the maximum.
+  EXPECT_EQ(rec.Percentile(99.9), Msec(100));
   EXPECT_EQ(rec.Percentile(100), Msec(100));
   EXPECT_EQ(rec.Max(), Msec(100));
 }
 
-// Regression: the fractional rank used to be truncated, biasing tail
-// percentiles low on small sample counts (p95 of {0, 100ms} returned 0).
-TEST(LatencyRecorder, PercentileInterpolatesBetweenRanks) {
+// Every reported percentile is an actually-observed sample — never an
+// average of two neighbours (the old interpolating definition invented
+// values between samples and skewed tails low on small counts).
+TEST(LatencyRecorder, NearestRankReturnsObservedSamples) {
   LatencyRecorder rec;
   rec.Add(Msec(100));
   rec.Add(Msec(200));
   EXPECT_EQ(rec.Percentile(0), Msec(100));
-  EXPECT_EQ(rec.Percentile(50), Msec(150));
-  EXPECT_EQ(rec.Percentile(75), Msec(175));
+  EXPECT_EQ(rec.Percentile(50), Msec(100));
+  EXPECT_EQ(rec.Percentile(75), Msec(200));
   EXPECT_EQ(rec.Percentile(100), Msec(200));
 }
 
+// Regression: p99 of {1ms, 1s} must report the observed 1 s outlier, not an
+// interpolated ~990 ms that no request ever experienced.
 TEST(LatencyRecorder, TailPercentilesNotBiasedLowOnSmallCounts) {
   LatencyRecorder rec;
-  rec.Add(0);
-  rec.Add(Msec(100));
-  EXPECT_NEAR(static_cast<double>(rec.Percentile(95)),
-              static_cast<double>(Msec(95)), 2.0);
-  EXPECT_NEAR(static_cast<double>(rec.Percentile(99)),
-              static_cast<double>(Msec(99)), 2.0);
+  rec.Add(Msec(1));
+  rec.Add(Sec(1));
+  EXPECT_EQ(rec.Percentile(95), Sec(1));
+  EXPECT_EQ(rec.Percentile(99), Sec(1));
+}
+
+TEST(LatencyRecorder, SingleSampleIsEveryPercentile) {
+  LatencyRecorder rec;
+  rec.Add(Msec(7));
+  EXPECT_EQ(rec.Percentile(0), Msec(7));
+  EXPECT_EQ(rec.Percentile(50), Msec(7));
+  EXPECT_EQ(rec.Percentile(99.9), Msec(7));
+  EXPECT_EQ(rec.Percentile(100), Msec(7));
 }
 
 TEST(LatencyRecorder, EmptyIsZero) {
   LatencyRecorder rec;
+  EXPECT_EQ(rec.Percentile(0), 0);
   EXPECT_EQ(rec.Percentile(50), 0);
+  EXPECT_EQ(rec.Percentile(100), 0);
   EXPECT_EQ(rec.Max(), 0);
   EXPECT_DOUBLE_EQ(rec.MeanMillis(), 0);
 }

@@ -231,12 +231,14 @@ TEST(SummarizeSpans, EmitsLayerAndCauseMetrics) {
     return -1;
   };
   EXPECT_DOUBLE_EQ(find("trace_spans"), 2.0);
-  EXPECT_DOUBLE_EQ(find("trace_elevator_p50_ms"), 3.0);
-  EXPECT_DOUBLE_EQ(find("trace_device_p50_ms"), 4.0);
-  EXPECT_NEAR(find("trace_total_p99_ms"), 8.96, 1e-9);
+  // Nearest-rank percentiles report observed samples: p50 of two samples is
+  // the lower one, p99 the upper.
+  EXPECT_DOUBLE_EQ(find("trace_elevator_p50_ms"), 2.0);
+  EXPECT_DOUBLE_EQ(find("trace_device_p50_ms"), 3.0);
+  EXPECT_DOUBLE_EQ(find("trace_total_p99_ms"), 9.0);
   EXPECT_DOUBLE_EQ(find("trace_causes"), 2.0);
   // Cause 7 saw both totals (5, 9); cause 9 only the second.
-  EXPECT_DOUBLE_EQ(find("trace_cause7_total_p50_ms"), 7.0);
+  EXPECT_DOUBLE_EQ(find("trace_cause7_total_p50_ms"), 5.0);
   EXPECT_DOUBLE_EQ(find("trace_cause9_total_p50_ms"), 9.0);
   // No span had cache/journal/swq residency: those layers are omitted.
   for (const auto& [key, value] : metrics) {

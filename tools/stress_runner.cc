@@ -130,8 +130,14 @@ int main(int argc, char** argv) {
   }
 
   if (!replay_path.empty()) {
+    // Resolve before opening (and echo the result): repro paths used to be
+    // CWD-relative only, so the same command line worked from the repo root
+    // but not from build/ where the nightly workflow runs.
+    std::string resolved =
+        splitio::ResolveReproPath(replay_path, argv[0] ? argv[0] : "");
+    std::cout << "replaying: " << resolved << "\n";
     std::string message;
-    int rc = splitio::ReplayRepro(replay_path, &message);
+    int rc = splitio::ReplayRepro(resolved, &message);
     std::cout << message << "\n";
     return rc;
   }

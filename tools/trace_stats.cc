@@ -17,6 +17,7 @@
 // string searches rather than a JSON library.
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,14 +49,20 @@ struct LayerSamples {
   double Mean() const {
     return ms.empty() ? 0 : sum_ms / static_cast<double>(ms.size());
   }
-  // Nearest-rank on the sorted samples; callers sort once via Finish().
+  // Nearest-rank (ceil) on the sorted samples — the same definition as
+  // LatencyRecorder::Percentile, so trace_stats and BENCHJSON percentiles
+  // agree on identical sample sets. Callers sort once via Finish().
   double Percentile(double p) const {
     if (ms.empty()) {
       return 0;
     }
-    double rank = p / 100.0 * static_cast<double>(ms.size() - 1);
-    size_t idx = static_cast<size_t>(rank + 0.5);
-    return ms[std::min(idx, ms.size() - 1)];
+    if (p <= 0) {
+      return ms.front();
+    }
+    double rank = p / 100.0 * static_cast<double>(ms.size());
+    auto idx = static_cast<size_t>(std::ceil(rank));
+    idx = std::min(std::max<size_t>(idx, 1), ms.size());
+    return ms[idx - 1];
   }
   void Finish() { std::sort(ms.begin(), ms.end()); }
 };
