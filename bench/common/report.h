@@ -48,12 +48,12 @@ inline void PrintCountersObject(const Counters& c) {
       "\"block_completed\":%llu,\"device_flushes\":%llu,"
       "\"faults_injected\":%llu,\"wb_errors\":%llu,"
       "\"journal_commits\":%llu,\"wb_pages_flushed\":%llu,"
-      "\"mq_kicks\":%llu}",
+      "\"mq_kicks\":%llu,\"allocs\":%llu}",
       u(c.sim_events), u(c.sim_immediate), u(c.cache_lookups), u(c.cache_hits),
       u(c.pages_dirtied), u(c.block_submitted), u(c.block_merged),
       u(c.block_completed), u(c.device_flushes), u(c.faults_injected),
       u(c.wb_errors), u(c.journal_commits), u(c.wb_pages_flushed),
-      u(c.mq_kicks));
+      u(c.mq_kicks), u(c.allocs));
 }
 
 inline void PrintJsonLine() {

@@ -3,7 +3,7 @@
 namespace splitio {
 
 TagMemoryAccountant& TagMemoryAccountant::Instance() {
-  static TagMemoryAccountant instance;
+  static thread_local TagMemoryAccountant instance;
   return instance;
 }
 

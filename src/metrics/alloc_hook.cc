@@ -1,0 +1,55 @@
+// Global operator new replacements that count heap allocations into the
+// per-thread Counters (BENCHJSON "allocs"). Replacing the throwing and
+// nothrow forms covers every new-expression; deletes are forwarded to free
+// untouched. The count is deterministic for a deterministic simulation —
+// it is a code-path property, not a timing one — so baseline-pinned
+// BENCHJSON lines remain byte-identical run to run.
+#include <cstdlib>
+#include <new>
+
+#include "src/metrics/counters.h"
+
+namespace {
+
+void* CountedAlloc(std::size_t size) {
+  ++splitio::counters().allocs;
+  // Malloc of 0 may return null; new must not.
+  return std::malloc(size > 0 ? size : 1);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -34,6 +34,9 @@ struct Counters {
   uint64_t journal_commits = 0;    // jbd2 commit records + XFS log forces
   uint64_t wb_pages_flushed = 0;   // pages handed to the block layer
   uint64_t mq_kicks = 0;           // hardware-context wakeups (blk-mq)
+  // Heap allocations (global operator new, src/metrics/alloc_hook.cc) —
+  // a cheap proxy for allocator pressure on the simulation hot path.
+  uint64_t allocs = 0;
 
   // Field-wise `*this - earlier`. Counters only grow, so snapshotting before
   // a stack runs and subtracting afterwards attributes activity to that
@@ -54,12 +57,15 @@ struct Counters {
     d.journal_commits = journal_commits - earlier.journal_commits;
     d.wb_pages_flushed = wb_pages_flushed - earlier.wb_pages_flushed;
     d.mq_kicks = mq_kicks - earlier.mq_kicks;
+    d.allocs = allocs - earlier.allocs;
     return d;
   }
 };
 
-// Process-global counters (single-threaded simulation; no synchronization).
-inline Counters g_counters;
+// Per-thread counters: each simulation runs single-threaded, but the stress
+// runner executes independent simulations on worker threads, each of which
+// gets its own counter block (and its own simulator — see src/sim).
+inline thread_local Counters g_counters;
 
 inline Counters& counters() { return g_counters; }
 

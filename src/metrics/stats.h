@@ -30,6 +30,11 @@ class LatencyRecorder {
   // definition averaged adjacent order statistics, which skewed tail
   // percentiles low on small sample counts (p99 of {1ms, 1s} reported
   // ~990ms instead of the actually-observed 1s).
+  // Small-sample tails: with fewer than 1/(1-p/100) samples the nearest
+  // rank is the last sample, i.e. Percentile(99.9) == Max() below 1000
+  // samples. That errs strict (a thin sample never hides a bad tail);
+  // callers that need to distinguish "true p99.9" from "max standing in
+  // for it" check TailResolved(p).
   Nanos Percentile(double p) {
     if (samples_.empty()) {
       return 0;
@@ -42,6 +47,17 @@ class LatencyRecorder {
     auto idx = static_cast<size_t>(std::ceil(rank));
     idx = std::min(std::max<size_t>(idx, 1), samples_.size());
     return samples_[idx - 1];
+  }
+
+  // Whether there are enough samples for Percentile(p) to name a rank
+  // strictly inside the sorted order (false whenever it degenerates to
+  // Max()). p99.9 needs > 1000 samples, p99 needs > 100.
+  bool TailResolved(double p) const {
+    if (p <= 0 || p >= 100) {
+      return false;
+    }
+    double need = 100.0 / (100.0 - p);
+    return static_cast<double>(samples_.size()) > need;
   }
 
   Nanos Max() {

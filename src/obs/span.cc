@@ -198,6 +198,7 @@ std::vector<std::pair<std::string, double>> SummarizeSpans(
     out.emplace_back(prefix + "_p50_ms", ToMillis(rec.Percentile(50)));
     out.emplace_back(prefix + "_p95_ms", ToMillis(rec.Percentile(95)));
     out.emplace_back(prefix + "_p99_ms", ToMillis(rec.Percentile(99)));
+    out.emplace_back(prefix + "_p999_ms", ToMillis(rec.Percentile(99.9)));
   }
 
   // Per-cause block-layer latency: each cause pid sees the full latency of
@@ -232,6 +233,7 @@ std::vector<std::pair<std::string, double>> SummarizeSpans(
     out.emplace_back(prefix + "_p50_ms", ToMillis(rec->Percentile(50)));
     out.emplace_back(prefix + "_p95_ms", ToMillis(rec->Percentile(95)));
     out.emplace_back(prefix + "_p99_ms", ToMillis(rec->Percentile(99)));
+    out.emplace_back(prefix + "_p999_ms", ToMillis(rec->Percentile(99.9)));
   }
   return out;
 }

@@ -16,19 +16,19 @@ namespace {
 // would hand LabelName()/DetachListener() freed memory during that
 // finalization.
 std::vector<TraceListener*>& Listeners() {
-  static std::vector<TraceListener*>* listeners =
+  static thread_local std::vector<TraceListener*>* listeners =
       new std::vector<TraceListener*>();
   return *listeners;
 }
 
 std::vector<std::string>& LabelTable() {
   // Index 0 is always the empty label so `label = 0` means "no scope".
-  static std::vector<std::string>* table =
+  static thread_local std::vector<std::string>* table =
       new std::vector<std::string>{std::string()};
   return *table;
 }
 
-uint16_t g_current_label = 0;
+thread_local uint16_t g_current_label = 0;
 
 }  // namespace
 

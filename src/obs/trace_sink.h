@@ -37,7 +37,7 @@ inline constexpr bool kTracingCompiled = true;
 
 // Number of attached listeners; maintained by Attach/DetachListener.
 // Inline variable so the hot-path check below compiles to one load.
-inline int g_trace_listener_count = 0;
+inline thread_local int g_trace_listener_count = 0;
 
 // True when at least one listener is attached (and tracing is compiled
 // in). Instrumentation sites must check this before building an event.
@@ -89,7 +89,7 @@ class ScopedTraceLabel {
 // Process-wide block-request id sequence (1-based; 0 means "no id").
 // Assigned by BlockLayer::Submit and threaded through DeviceRequest so
 // device-level events correlate with block-level ones.
-inline uint64_t g_request_id_seq = 0;
+inline thread_local uint64_t g_request_id_seq = 0;
 inline uint64_t AllocRequestId() { return ++g_request_id_seq; }
 
 // In-memory recorder: appends every event to a vector. The base listener

@@ -11,21 +11,27 @@ void ScsTokenScheduler::Attach(const StackContext& ctx) {
 }
 
 void ScsTokenScheduler::SetAccountLimit(int account, double bytes_per_sec) {
-  buckets_[account] =
-      TokenBucket(bytes_per_sec, bytes_per_sec * config_.burst_seconds);
+  accounts_.SetLeafLimit(account, bytes_per_sec, config_.burst_seconds);
+}
+
+void ScsTokenScheduler::SetGroupLimit(int group, double bytes_per_sec) {
+  accounts_.SetGroupLimit(group, bytes_per_sec, config_.burst_seconds);
+}
+
+void ScsTokenScheduler::BindAccountToGroup(int account, int group) {
+  accounts_.BindLeafToGroup(account, group);
 }
 
 Task<void> ScsTokenScheduler::AdmitAndCharge(Process& proc, double cost) {
-  auto it = buckets_.find(proc.account());
-  if (it == buckets_.end()) {
+  if (!accounts_.HasLeaf(proc.account())) {
     co_return;  // unthrottled
   }
-  while (!it->second.CanAdmit()) {
+  while (!accounts_.CanAdmit(proc.account())) {
     co_await tokens_available_.Wait();
   }
   // Charge raw system-call bytes: SCS has no cache, journal, or layout
   // knowledge with which to correct this estimate.
-  it->second.Charge(cost);
+  accounts_.Charge(proc.account(), cost);
 }
 
 Task<void> ScsTokenScheduler::OnReadEntry(Process& proc, int64_t ino,
@@ -73,12 +79,8 @@ Task<void> ScsTokenScheduler::RefillLoop() {
   for (;;) {
     co_await Delay(config_.refill_period);
     Nanos now = Simulator::current().Now();
-    bool any = false;
-    for (auto& [account, bucket] : buckets_) {
-      bucket.Refill(now);
-      any = any || bucket.CanAdmit();
-    }
-    if (any) {
+    accounts_.RefillAll(now);
+    if (accounts_.AnyAdmittable()) {
       tokens_available_.NotifyAll();
     }
   }

@@ -16,11 +16,11 @@
 #define SRC_SCHED_SCS_TOKEN_H_
 
 #include <deque>
-#include <map>
 #include <string>
 
 #include "src/core/scheduler.h"
 #include "src/sched/util.h"
+#include "src/tenant/hier_token.h"
 
 namespace splitio {
 
@@ -46,6 +46,14 @@ class ScsTokenScheduler : public SplitScheduler {
   void Attach(const StackContext& ctx) override;
 
   void SetAccountLimit(int account, double bytes_per_sec);
+
+  // Hierarchical (multi-tenant) accounting: leaf charges draw from a
+  // cgroup-like group budget (src/tenant/hier_token). SCS charges raw
+  // syscall bytes, so group budgets inherit its mis-accounting — the
+  // multi-tenant bench shows this baseline failing where split-token holds.
+  void SetGroupLimit(int group, double bytes_per_sec);
+  void BindAccountToGroup(int account, int group);
+  const HierTokenAccounts& accounts() const { return accounts_; }
 
   Task<void> OnReadEntry(Process& proc, int64_t ino, uint64_t offset,
                          uint64_t len) override;
@@ -74,7 +82,7 @@ class ScsTokenScheduler : public SplitScheduler {
   Task<void> RefillLoop();
 
   ScsTokenConfig config_;
-  std::map<int, TokenBucket> buckets_;
+  HierTokenAccounts accounts_;
   std::deque<BlockRequestPtr> ready_;
   Event tokens_available_;
 };

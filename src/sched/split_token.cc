@@ -12,8 +12,15 @@ void SplitTokenScheduler::Attach(const StackContext& ctx) {
 }
 
 void SplitTokenScheduler::SetAccountLimit(int account, double bytes_per_sec) {
-  buckets_[account] =
-      TokenBucket(bytes_per_sec, bytes_per_sec * config_.burst_seconds);
+  accounts_.SetLeafLimit(account, bytes_per_sec, config_.burst_seconds);
+}
+
+void SplitTokenScheduler::SetGroupLimit(int group, double bytes_per_sec) {
+  accounts_.SetGroupLimit(group, bytes_per_sec, config_.burst_seconds);
+}
+
+void SplitTokenScheduler::BindAccountToGroup(int account, int group) {
+  accounts_.BindLeafToGroup(account, group);
 }
 
 int SplitTokenScheduler::AccountOf(int32_t pid) const {
@@ -22,10 +29,7 @@ int SplitTokenScheduler::AccountOf(int32_t pid) const {
 }
 
 void SplitTokenScheduler::ChargeAccount(int account, double cost) {
-  auto it = buckets_.find(account);
-  if (it != buckets_.end()) {
-    it->second.Charge(cost);
-  }
+  accounts_.Charge(account, cost);
 }
 
 void SplitTokenScheduler::ChargeCauses(const CauseSet& causes, double cost) {
@@ -44,11 +48,9 @@ void SplitTokenScheduler::ChargeCauses(const CauseSet& causes, double cost) {
 
 Task<void> SplitTokenScheduler::ThrottleAccount(Process& proc) {
   pid_account_[proc.pid()] = proc.account();
-  auto it = buckets_.find(proc.account());
-  if (it == buckets_.end()) {
-    co_return;  // unthrottled
-  }
-  while (!it->second.CanAdmit()) {
+  // Unknown accounts are always admissible (unthrottled); a known leaf
+  // blocks while it — or its group budget — is in debt.
+  while (!accounts_.CanAdmit(proc.account())) {
     co_await tokens_available_.Wait();
   }
 }
@@ -118,12 +120,9 @@ void SplitTokenScheduler::Add(BlockRequestPtr req) {
         break;
       }
     }
-    if (account >= 0) {
-      auto it = buckets_.find(account);
-      if (it != buckets_.end() && !it->second.CanAdmit()) {
-        held_reads_.push_back(std::move(req));
-        return;
-      }
+    if (account >= 0 && !accounts_.CanAdmit(account)) {
+      held_reads_.push_back(std::move(req));
+      return;
     }
   }
   // Writes (ordering) and admissible reads go straight to the ready queue.
@@ -180,11 +179,7 @@ void SplitTokenScheduler::ReleaseHeldReads() {
         break;
       }
     }
-    bool admit = true;
-    if (account >= 0) {
-      auto bit = buckets_.find(account);
-      admit = bit == buckets_.end() || bit->second.CanAdmit();
-    }
+    bool admit = account < 0 || accounts_.CanAdmit(account);
     if (admit) {
       ready_.push_back(std::move(req));
       it = held_reads_.erase(it);
@@ -198,12 +193,8 @@ Task<void> SplitTokenScheduler::RefillLoop() {
   for (;;) {
     co_await Delay(config_.refill_period);
     Nanos now = Simulator::current().Now();
-    bool any_admittable = false;
-    for (auto& [account, bucket] : buckets_) {
-      bucket.Refill(now);
-      any_admittable = any_admittable || bucket.CanAdmit();
-    }
-    if (any_admittable) {
+    accounts_.RefillAll(now);
+    if (accounts_.AnyAdmittable()) {
       size_t held_before = held_reads_.size();
       ReleaseHeldReads();
       if (held_reads_.size() != held_before && ctx_.block != nullptr) {
@@ -215,8 +206,11 @@ Task<void> SplitTokenScheduler::RefillLoop() {
 }
 
 double SplitTokenScheduler::account_balance(int account) const {
-  auto it = buckets_.find(account);
-  return it == buckets_.end() ? 0 : it->second.balance();
+  return accounts_.LeafBalance(account);
+}
+
+double SplitTokenScheduler::group_balance(int group) const {
+  return accounts_.GroupBalance(group);
 }
 
 }  // namespace splitio

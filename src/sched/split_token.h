@@ -20,12 +20,12 @@
 #define SRC_SCHED_SPLIT_TOKEN_H_
 
 #include <deque>
-#include <map>
 #include <string>
 #include <unordered_map>
 
 #include "src/core/scheduler.h"
 #include "src/sched/util.h"
+#include "src/tenant/hier_token.h"
 
 namespace splitio {
 
@@ -54,6 +54,13 @@ class SplitTokenScheduler : public SplitScheduler {
   // normalized I/O). Processes are bound via Process::set_account.
   void SetAccountLimit(int account, double bytes_per_sec);
 
+  // ---- Hierarchical (multi-tenant) accounting, ISSUE 7 ----
+  // Group budgets are cgroup-like: a leaf account bound to a group draws
+  // from the group budget on every charge, and is throttled when either
+  // its own bucket or the group budget is in debt (src/tenant/hier_token).
+  void SetGroupLimit(int group, double bytes_per_sec);
+  void BindAccountToGroup(int account, int group);
+
   // ---- System-call hooks: throttle the write path ----
   Task<void> OnWriteEntry(Process& proc, int64_t ino, uint64_t offset,
                           uint64_t len) override;
@@ -73,6 +80,11 @@ class SplitTokenScheduler : public SplitScheduler {
   bool Empty() const override;
 
   double account_balance(int account) const;
+  double group_balance(int group) const;
+  // Token-debt introspection for admission control and the conservation
+  // tests; const access only.
+  const HierTokenAccounts& accounts() const { return accounts_; }
+  HierTokenAccounts& mutable_accounts() { return accounts_; }
 
  private:
   int AccountOf(int32_t pid) const;
@@ -84,7 +96,7 @@ class SplitTokenScheduler : public SplitScheduler {
   void ReleaseHeldReads();
 
   SplitTokenConfig config_;
-  std::map<int, TokenBucket> buckets_;
+  HierTokenAccounts accounts_;
   // pid -> account binding, learned from Process objects seen at hooks.
   std::unordered_map<int32_t, int> pid_account_;
   // Last dirtied page index per inode (sequentiality guess).

@@ -14,7 +14,7 @@ constexpr size_t kInitialQueueCapacity = 4096;
 
 namespace {
 
-Simulator* g_current = nullptr;
+thread_local Simulator* g_current = nullptr;
 
 // Driver coroutine for root tasks: runs the task to completion, then marks
 // the join state done and wakes joiners. It is initially suspended so the

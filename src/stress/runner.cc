@@ -1,9 +1,12 @@
 #include "src/stress/runner.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "src/stress/oracles.h"
@@ -84,6 +87,106 @@ bool WriteReproFile(const StressFailure& failure, const std::string& out_dir,
   return true;
 }
 
+// Everything one seed produces, computed without touching shared state so
+// worker threads can evaluate seeds concurrently. The repro file write and
+// all logging stay out of here — they happen on the coordinating thread, in
+// seed order, so a parallel campaign emits byte-identical output to a
+// sequential one over the same seed range.
+struct SeedOutcome {
+  bool ran = false;
+  bool failed = false;
+  std::string verbose_line;  // "" unless options.verbose
+  StressFailure failure;     // valid only when failed
+};
+
+SeedOutcome RunSeed(const StressOptions& options, uint64_t seed) {
+  SeedOutcome out;
+  out.ran = true;
+  Scenario scenario = GenerateScenario(seed, options.gen);
+  ApplyOverrides(options, &scenario);
+
+  std::vector<OracleFailure> failures =
+      EvaluateScenario(scenario, options.oracle);
+  if (options.verbose) {
+    std::ostringstream line;
+    line << "seed " << seed << " " << DescribeStack(scenario.stack) << " ops="
+         << scenario.program.ops.size() << " -> "
+         << (failures.empty() ? "ok" : DescribeFailures(failures)) << "\n";
+    out.verbose_line = line.str();
+  }
+  if (failures.empty()) {
+    return out;
+  }
+
+  out.failed = true;
+  StressFailure& f = out.failure;
+  f.seed = seed;
+  f.oracle = failures.front().oracle;
+  if (options.minimize) {
+    ShrinkOptions shrink_opts;
+    shrink_opts.max_evals = options.max_shrink_evals;
+    shrink_opts.oracle = options.oracle;
+    ShrinkResult shrunk = Minimize(scenario, f.oracle, shrink_opts);
+    f.shrink_evals = shrunk.evals;
+    if (shrunk.reproduced) {
+      f.minimized = true;
+      f.scenario = shrunk.scenario;
+      for (const OracleFailure& sf : shrunk.failures) {
+        if (sf.oracle == f.oracle) {
+          f.detail = sf.detail;
+          break;
+        }
+      }
+    }
+  }
+  if (!f.minimized) {
+    // Unminimized repro: recompute the detail under the reduced options
+    // the replayer will use, so replay still compares byte-for-byte.
+    f.scenario = scenario;
+    std::vector<OracleFailure> reduced =
+        EvaluateScenario(scenario, ReducedOptions(f.oracle, options.oracle));
+    for (const OracleFailure& rf : reduced) {
+      if (rf.oracle == f.oracle) {
+        f.detail = rf.detail;
+        break;
+      }
+    }
+    if (f.detail.empty()) {
+      f.detail = failures.front().detail;  // last resort; should not happen
+    }
+  }
+  return out;
+}
+
+// Folds one completed seed into the report: repro file, log lines, failure
+// list. Only ever called from the coordinating thread, in seed order.
+void EmitOutcome(const StressOptions& options, SeedOutcome&& outcome,
+                 StressReport* report, std::ostream* log) {
+  ++report->seeds_run;
+  if (options.verbose && log) {
+    *log << outcome.verbose_line;
+  }
+  if (!outcome.failed) {
+    return;
+  }
+  StressFailure f = std::move(outcome.failure);
+  if (!options.out_dir.empty()) {
+    WriteReproFile(f, options.out_dir, &f.repro_path);
+  }
+  if (log) {
+    *log << "FAIL seed " << f.seed << " oracle=" << f.oracle << " ["
+         << DescribeStack(f.scenario.stack) << " ops="
+         << f.scenario.program.ops.size()
+         << (f.minimized ? ", minimized" : ", unminimized") << "] "
+         << f.detail;
+    if (!f.repro_path.empty()) {
+      *log << " repro=" << f.repro_path;
+    }
+    *log << "\n";
+  }
+  report->failures.push_back(std::move(f));
+}
+
 }  // namespace
 
 StressReport RunStress(const StressOptions& options, std::ostream* log) {
@@ -98,78 +201,60 @@ StressReport RunStress(const StressOptions& options, std::ostream* log) {
     return elapsed.count() >= options.budget_seconds;
   };
 
-  for (int i = 0; i < options.num_seeds; ++i) {
-    if (budget_spent()) {
-      report.budget_exhausted = true;
-      break;
+  int jobs = std::max(1, options.jobs);
+  jobs = std::min(jobs, options.num_seeds);
+  if (jobs <= 1) {
+    for (int i = 0; i < options.num_seeds; ++i) {
+      if (budget_spent()) {
+        report.budget_exhausted = true;
+        break;
+      }
+      uint64_t seed = options.seed_start + static_cast<uint64_t>(i);
+      EmitOutcome(options, RunSeed(options, seed), &report, log);
     }
-    uint64_t seed = options.seed_start + static_cast<uint64_t>(i);
-    Scenario scenario = GenerateScenario(seed, options.gen);
-    ApplyOverrides(options, &scenario);
-
-    std::vector<OracleFailure> failures =
-        EvaluateScenario(scenario, options.oracle);
-    ++report.seeds_run;
-    if (options.verbose && log) {
-      *log << "seed " << seed << " " << DescribeStack(scenario.stack) << " ops="
-           << scenario.program.ops.size() << " -> "
-           << (failures.empty() ? "ok" : DescribeFailures(failures)) << "\n";
-    }
-    if (failures.empty()) {
-      continue;
-    }
-
-    StressFailure f;
-    f.seed = seed;
-    f.oracle = failures.front().oracle;
-    if (options.minimize) {
-      ShrinkOptions shrink_opts;
-      shrink_opts.max_evals = options.max_shrink_evals;
-      shrink_opts.oracle = options.oracle;
-      ShrinkResult shrunk = Minimize(scenario, f.oracle, shrink_opts);
-      f.shrink_evals = shrunk.evals;
-      if (shrunk.reproduced) {
-        f.minimized = true;
-        f.scenario = shrunk.scenario;
-        for (const OracleFailure& sf : shrunk.failures) {
-          if (sf.oracle == f.oracle) {
-            f.detail = sf.detail;
-            break;
+  } else {
+    // Workers claim seed indices with a fetch_add, so the set of claimed
+    // indices is always a contiguous prefix of the range and every claimed
+    // seed runs to completion. Each simulation is self-contained (the
+    // simulator, counters, and trace registries are thread_local), so seeds
+    // evaluate independently; after the join the outcomes are emitted
+    // strictly in seed order, making the log and repro files independent of
+    // thread interleaving. The wall-clock budget is checked at claim time,
+    // matching the sequential loop's "stop starting new seeds" semantics.
+    std::vector<SeedOutcome> outcomes(static_cast<size_t>(options.num_seeds));
+    std::atomic<int> next_index{0};
+    std::atomic<bool> exhausted{false};
+    auto worker = [&]() {
+      for (;;) {
+        if (budget_spent()) {
+          if (next_index.load(std::memory_order_relaxed) < options.num_seeds) {
+            exhausted.store(true, std::memory_order_relaxed);
           }
+          return;
         }
-      }
-    }
-    if (!f.minimized) {
-      // Unminimized repro: recompute the detail under the reduced options
-      // the replayer will use, so replay still compares byte-for-byte.
-      f.scenario = scenario;
-      std::vector<OracleFailure> reduced = EvaluateScenario(
-          scenario, ReducedOptions(f.oracle, options.oracle));
-      for (const OracleFailure& rf : reduced) {
-        if (rf.oracle == f.oracle) {
-          f.detail = rf.detail;
-          break;
+        int i = next_index.fetch_add(1, std::memory_order_relaxed);
+        if (i >= options.num_seeds) {
+          return;
         }
+        uint64_t seed = options.seed_start + static_cast<uint64_t>(i);
+        outcomes[static_cast<size_t>(i)] = RunSeed(options, seed);
       }
-      if (f.detail.empty()) {
-        f.detail = failures.front().detail;  // last resort; should not happen
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+    report.budget_exhausted = exhausted.load(std::memory_order_relaxed);
+    for (SeedOutcome& outcome : outcomes) {
+      if (!outcome.ran) {
+        break;
       }
+      EmitOutcome(options, std::move(outcome), &report, log);
     }
-    if (!options.out_dir.empty()) {
-      WriteReproFile(f, options.out_dir, &f.repro_path);
-    }
-    if (log) {
-      *log << "FAIL seed " << seed << " oracle=" << f.oracle << " ["
-           << DescribeStack(f.scenario.stack) << " ops="
-           << f.scenario.program.ops.size()
-           << (f.minimized ? ", minimized" : ", unminimized") << "] "
-           << f.detail;
-      if (!f.repro_path.empty()) {
-        *log << " repro=" << f.repro_path;
-      }
-      *log << "\n";
-    }
-    report.failures.push_back(std::move(f));
   }
 
   if (log) {

@@ -33,6 +33,15 @@ struct StressOptions {
   bool pin_sched = false;
   SchedKind pinned_sched = SchedKind::kNoop;
   bool verbose = false;  // per-seed progress lines on the log stream
+  // Worker threads for the seed loop. 1 = the classic sequential path.
+  // With jobs > 1, seeds are evaluated concurrently (each simulation is
+  // self-contained: simulator, counters, and trace state are thread_local)
+  // but the log lines, repro files, and failure list are still emitted in
+  // seed order, so the output over a given seed range is byte-identical to
+  // a sequential run. Only the wall-clock budget interacts with
+  // parallelism: it truncates the range at claim time, so a budgeted
+  // parallel campaign may cover more seeds than a sequential one.
+  int jobs = 1;
   GenOptions gen;
   OracleOptions oracle;
 };

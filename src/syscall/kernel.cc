@@ -111,11 +111,24 @@ Task<int64_t> OsKernel::Read(Process& proc, int64_t ino, uint64_t offset,
     EmitSyscall(obs::EventType::kSyscallEnter, proc, obs::SyscallOp::kRead,
                 ino, len, 0);
   }
+  if (admission_ != nullptr) {
+    int admit = co_await admission_->Enter(proc);
+    if (admit < 0) {
+      if (obs::TracingActive()) {
+        EmitSyscall(obs::EventType::kSyscallExit, proc, obs::SyscallOp::kRead,
+                    ino, 0, admit);
+      }
+      co_return admit;
+    }
+  }
   if (sched_ != nullptr) {
     co_await sched_->OnReadEntry(proc, ino, offset, len);
   }
   co_await ChargeCpu(len);
   int64_t n = co_await fs_->Read(proc, ino, offset, len);
+  if (admission_ != nullptr) {
+    admission_->Exit(proc);
+  }
   if (sched_ != nullptr) {
     sched_->OnReadExit(proc, ino, n < 0 ? 0 : static_cast<uint64_t>(n));
   }
@@ -133,11 +146,24 @@ Task<int64_t> OsKernel::Write(Process& proc, int64_t ino, uint64_t offset,
     EmitSyscall(obs::EventType::kSyscallEnter, proc, obs::SyscallOp::kWrite,
                 ino, len, 0);
   }
+  if (admission_ != nullptr) {
+    int admit = co_await admission_->Enter(proc);
+    if (admit < 0) {
+      if (obs::TracingActive()) {
+        EmitSyscall(obs::EventType::kSyscallExit, proc, obs::SyscallOp::kWrite,
+                    ino, 0, admit);
+      }
+      co_return admit;
+    }
+  }
   if (sched_ != nullptr) {
     co_await sched_->OnWriteEntry(proc, ino, offset, len);
   }
   co_await ChargeCpu(len);
   int64_t n = co_await fs_->Write(proc, ino, offset, len);
+  if (admission_ != nullptr) {
+    admission_->Exit(proc);
+  }
   if (sched_ != nullptr) {
     sched_->OnWriteExit(proc, ino, n < 0 ? 0 : static_cast<uint64_t>(n));
   }
@@ -154,11 +180,26 @@ Task<int> OsKernel::Fsync(Process& proc, int64_t ino) {
     EmitSyscall(obs::EventType::kSyscallEnter, proc, obs::SyscallOp::kFsync,
                 ino, 0, 0);
   }
+  if (admission_ != nullptr) {
+    int admit = co_await admission_->Enter(proc);
+    if (admit < 0) {
+      // Rejected before reaching the file system: the fsync observer is
+      // not notified — nothing was made (or promised) durable.
+      if (obs::TracingActive()) {
+        EmitSyscall(obs::EventType::kSyscallExit, proc, obs::SyscallOp::kFsync,
+                    ino, 0, admit);
+      }
+      co_return admit;
+    }
+  }
   if (sched_ != nullptr) {
     co_await sched_->OnFsyncEntry(proc, ino);
   }
   co_await ChargeCpu(0);
   int result = co_await fs_->Fsync(proc, ino);
+  if (admission_ != nullptr) {
+    admission_->Exit(proc);
+  }
   if (sched_ != nullptr) {
     sched_->OnFsyncExit(proc, ino);
   }

@@ -16,6 +16,7 @@
 #include "src/core/scheduler.h"
 #include "src/fs/filesystem.h"
 #include "src/sim/cpu.h"
+#include "src/tenant/admission.h"
 
 namespace splitio {
 
@@ -57,6 +58,16 @@ class OsKernel {
     fsync_observer_ = std::move(observer);
   }
 
+  // Multi-tenant admission control (src/tenant/admission): when set, every
+  // data-path syscall (read / write / fsync) passes through
+  // AdmissionController::Enter before any scheduler hook runs — an
+  // over-limit call is delayed, or rejected with -EAGAIN before it can
+  // dirty a page or entangle a journal commit. Not owned; may be null.
+  void set_admission(AdmissionController* admission) {
+    admission_ = admission;
+  }
+  AdmissionController* admission() { return admission_; }
+
  private:
   Task<void> ChargeCpu(uint64_t len);
 
@@ -66,6 +77,7 @@ class OsKernel {
   SplitScheduler* sched_;  // may be null (legacy block-only stack)
   Config config_;
   FsyncObserver fsync_observer_;
+  AdmissionController* admission_ = nullptr;
 };
 
 }  // namespace splitio

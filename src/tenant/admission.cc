@@ -1,0 +1,90 @@
+#include "src/tenant/admission.h"
+
+#include "src/sim/simulator.h"
+
+namespace splitio {
+
+bool AdmissionController::OverQueueLimit(int account) const {
+  if (config_.max_inflight_total > 0 &&
+      totals_.inflight >= config_.max_inflight_total) {
+    return true;
+  }
+  if (config_.max_inflight_per_tenant > 0 && account >= 0) {
+    auto it = by_tenant_.find(account);
+    if (it != by_tenant_.end() &&
+        it->second.inflight >= config_.max_inflight_per_tenant) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AdmissionController::InTokenDebt(int account) const {
+  return config_.gate_on_token_debt && accounts_ != nullptr && account >= 0 &&
+         !accounts_->CanAdmit(account);
+}
+
+Task<int> AdmissionController::Enter(Process& proc) {
+  int account = proc.account();
+  Stats& tenant = by_tenant_[account];
+  bool was_delayed = false;
+  Nanos wait_start = 0;
+  Nanos backoff = config_.debt_poll;
+  for (;;) {
+    bool queue_full = OverQueueLimit(account);
+    if (!queue_full && !InTokenDebt(account)) {
+      break;
+    }
+    if (config_.reject) {
+      ++tenant.rejected;
+      ++totals_.rejected;
+      co_return kEagain;
+    }
+    if (!was_delayed) {
+      was_delayed = true;
+      wait_start = Simulator::current().Now();
+      ++tenant.delayed;
+      ++totals_.delayed;
+    }
+    if (queue_full) {
+      co_await slot_free_.Wait();
+    } else {
+      // Exponential backoff (x2 per re-check, capped at 10 polls): a fleet
+      // of token-indebted tenants would otherwise re-poll in lockstep every
+      // debt_poll and dominate the event queue.
+      co_await Delay(backoff);
+      if (backoff < config_.debt_poll * 10) {
+        backoff *= 2;
+      }
+    }
+  }
+  if (was_delayed) {
+    Nanos waited = Simulator::current().Now() - wait_start;
+    tenant.delay_ns += waited;
+    totals_.delay_ns += waited;
+  }
+  ++tenant.admitted;
+  ++totals_.admitted;
+  ++tenant.inflight;
+  ++totals_.inflight;
+  co_return 0;
+}
+
+void AdmissionController::Exit(Process& proc) {
+  auto it = by_tenant_.find(proc.account());
+  if (it != by_tenant_.end() && it->second.inflight > 0) {
+    --it->second.inflight;
+  }
+  if (totals_.inflight > 0) {
+    --totals_.inflight;
+  }
+  slot_free_.NotifyAll();
+}
+
+AdmissionController::Stats AdmissionController::TenantStats(
+    int account) const {
+  auto it = by_tenant_.find(account);
+  return it == by_tenant_.end() ? Stats() : it->second;
+}
+
+}  // namespace splitio

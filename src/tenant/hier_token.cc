@@ -1,0 +1,143 @@
+#include "src/tenant/hier_token.h"
+
+#include <cmath>
+
+namespace splitio {
+
+void HierTokenAccounts::SetLeafLimit(int leaf, double bytes_per_sec,
+                                     double burst_seconds) {
+  Leaf& l = leaves_[leaf];
+  l.bucket = TokenBucket(bytes_per_sec, bytes_per_sec * burst_seconds);
+  l.limited = true;
+}
+
+void HierTokenAccounts::SetGroupLimit(int group, double bytes_per_sec,
+                                      double burst_seconds) {
+  Group& g = groups_[group];
+  double charged = g.charged;
+  g.bucket = TokenBucket(bytes_per_sec, bytes_per_sec * burst_seconds);
+  g.charged = charged;
+}
+
+void HierTokenAccounts::BindLeafToGroup(int leaf, int group) {
+  Leaf& l = leaves_[leaf];
+  if (l.group != group) {
+    if (l.group >= 0) {
+      // Close out the departing member's ledger: conservation is defined
+      // over *current* members, so what the leaf charged while bound must
+      // leave the old group's books with it.
+      auto git = groups_.find(l.group);
+      if (git != groups_.end()) {
+        git->second.charged -= l.charged_in_group;
+      }
+    }
+    l.group = group;
+    l.charged_in_group = 0;
+  }
+  groups_[group];  // ensure the group exists (unlimited until SetGroupLimit)
+}
+
+void HierTokenAccounts::Charge(int leaf, double cost) {
+  auto it = leaves_.find(leaf);
+  if (it == leaves_.end()) {
+    return;
+  }
+  Leaf& l = it->second;
+  if (l.limited) {
+    l.bucket.Charge(cost);
+  }
+  l.charged += cost;
+  if (l.group >= 0) {
+    l.charged_in_group += cost;
+    if (!buggy_group_skip_) {
+      Group& g = groups_[l.group];
+      g.bucket.Charge(cost);
+      g.charged += cost;
+    }
+  }
+}
+
+bool HierTokenAccounts::CanAdmit(int leaf) const {
+  auto it = leaves_.find(leaf);
+  if (it == leaves_.end()) {
+    return true;
+  }
+  const Leaf& l = it->second;
+  if (l.limited && !l.bucket.CanAdmit()) {
+    return false;
+  }
+  if (l.group >= 0) {
+    auto git = groups_.find(l.group);
+    if (git != groups_.end() && git->second.bucket.rate() > 0 &&
+        !git->second.bucket.CanAdmit()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void HierTokenAccounts::RefillAll(Nanos now) {
+  for (auto& [id, leaf] : leaves_) {
+    if (leaf.limited) {
+      leaf.bucket.Refill(now);
+    }
+  }
+  for (auto& [id, group] : groups_) {
+    if (group.bucket.rate() > 0) {
+      group.bucket.Refill(now);
+    }
+  }
+}
+
+bool HierTokenAccounts::AnyAdmittable() const {
+  for (const auto& [id, leaf] : leaves_) {
+    if (CanAdmit(id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int HierTokenAccounts::GroupOf(int leaf) const {
+  auto it = leaves_.find(leaf);
+  return it == leaves_.end() ? -1 : it->second.group;
+}
+
+double HierTokenAccounts::LeafBalance(int leaf) const {
+  auto it = leaves_.find(leaf);
+  return it == leaves_.end() ? 0 : it->second.bucket.balance();
+}
+
+double HierTokenAccounts::GroupBalance(int group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.bucket.balance();
+}
+
+double HierTokenAccounts::LeafCharged(int leaf) const {
+  auto it = leaves_.find(leaf);
+  return it == leaves_.end() ? 0 : it->second.charged;
+}
+
+double HierTokenAccounts::GroupCharged(int group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.charged;
+}
+
+std::string HierTokenAccounts::CheckConservation(double tolerance) const {
+  for (const auto& [gid, group] : groups_) {
+    double leaf_sum = 0;
+    for (const auto& [lid, leaf] : leaves_) {
+      if (leaf.group == gid) {
+        leaf_sum += leaf.charged_in_group;
+      }
+    }
+    if (std::fabs(leaf_sum - group.charged) > tolerance) {
+      return "group " + std::to_string(gid) + " charged " +
+             std::to_string(group.charged) + " but member leaves charged " +
+             std::to_string(leaf_sum);
+    }
+  }
+  return "";
+}
+
+}  // namespace splitio

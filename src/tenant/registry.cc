@@ -1,0 +1,204 @@
+#include "src/tenant/registry.h"
+
+#include <cmath>
+
+#include "src/sched/scs_token.h"
+#include "src/sched/split_token.h"
+
+namespace splitio {
+
+namespace {
+
+// Exponential inter-arrival with the far tail clamped (8 means, ~p9997) so
+// one unlucky draw cannot idle a tenant for the whole run.
+Nanos ExpInterval(Rng& rng, Nanos mean) {
+  double v = -std::log(1.0 - rng.NextDouble());
+  if (v > 8.0) {
+    v = 8.0;
+  }
+  return static_cast<Nanos>(static_cast<double>(mean) * v);
+}
+
+}  // namespace
+
+const char* TenantAppName(TenantApp app) {
+  switch (app) {
+    case TenantApp::kOltp:
+      return "oltp";
+    case TenantApp::kScan:
+      return "scan";
+    case TenantApp::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+TenantRegistry::TenantRegistry(StorageStack* stack,
+                               TenantRegistryConfig config)
+    : stack_(stack), config_(std::move(config)) {}
+
+void TenantRegistry::Setup() {
+  int id = 0;
+  for (const TenantClass& cls : config_.classes) {
+    for (int i = 0; i < cls.count; ++i, ++id) {
+      // Salt the per-tenant stream with the id so class-count changes leave
+      // other tenants' draws untouched.
+      auto t = std::make_unique<TenantState>(
+          DeriveSeed(config_.seed * 0x9e3779b97f4a7c15ULL + id));
+      t->id = id;
+      t->cls = &cls;
+      t->proc =
+          stack_->NewProcess(cls.name + "-" + std::to_string(i));
+      t->proc->set_priority(cls.priority);
+      t->proc->set_account(id);
+      if (cls.fsync_deadline > 0) {
+        t->proc->set_fsync_deadline(cls.fsync_deadline);
+      }
+      t->ino = stack_->fs().CreatePreallocated(
+          "/" + cls.name + std::to_string(i), cls.file_bytes);
+      uint64_t slots = cls.file_bytes / cls.io_bytes;
+      t->offset = (slots > 0 ? t->rng.Below(slots) : 0) * cls.io_bytes;
+      slo_.Register(id, cls.group, cls.slo);
+      tenants_.push_back(std::move(t));
+    }
+  }
+}
+
+void TenantRegistry::ConfigureScheduler() {
+  auto* split = dynamic_cast<SplitTokenScheduler*>(stack_->scheduler());
+  auto* scs = dynamic_cast<ScsTokenScheduler*>(stack_->scheduler());
+  if (split == nullptr && scs == nullptr) {
+    return;
+  }
+  for (const TenantClass& cls : config_.classes) {
+    if (cls.group >= 0 && cls.group_rate_bps > 0) {
+      if (split != nullptr) {
+        split->SetGroupLimit(cls.group, cls.group_rate_bps);
+      }
+      if (scs != nullptr) {
+        scs->SetGroupLimit(cls.group, cls.group_rate_bps);
+      }
+    }
+  }
+  for (const auto& t : tenants_) {
+    const TenantClass& cls = *t->cls;
+    if (cls.leaf_rate_bps > 0) {
+      if (split != nullptr) {
+        split->SetAccountLimit(t->id, cls.leaf_rate_bps);
+      }
+      if (scs != nullptr) {
+        scs->SetAccountLimit(t->id, cls.leaf_rate_bps);
+      }
+    }
+    // Bind throttled leaves — and, when the group itself carries a budget,
+    // unthrottled ones too, so the group draw covers the whole class.
+    if (cls.group >= 0 && (cls.leaf_rate_bps > 0 || cls.group_rate_bps > 0)) {
+      if (split != nullptr) {
+        split->BindAccountToGroup(t->id, cls.group);
+      }
+      if (scs != nullptr) {
+        scs->BindAccountToGroup(t->id, cls.group);
+      }
+    }
+  }
+}
+
+void TenantRegistry::SpawnAll(Simulator& sim) {
+  for (const auto& t : tenants_) {
+    sim.Spawn(RunTenant(t.get()));
+  }
+}
+
+Task<void> TenantRegistry::RunOp(TenantState* t, bool* ok) {
+  OsKernel& kernel = stack_->kernel();
+  const TenantClass& cls = *t->cls;
+  *ok = true;
+  switch (cls.app) {
+    case TenantApp::kOltp: {
+      // Log-append into the ring, then make the record durable.
+      int64_t n =
+          co_await kernel.Write(*t->proc, t->ino, t->offset, cls.io_bytes);
+      if (n < 0) {
+        *ok = false;
+        co_return;
+      }
+      t->offset = (t->offset + cls.io_bytes) % cls.file_bytes;
+      if (cls.fsync_every > 0 &&
+          ++t->arrivals_since_fsync >= cls.fsync_every) {
+        t->arrivals_since_fsync = 0;
+        if (co_await kernel.Fsync(*t->proc, t->ino) < 0) {
+          *ok = false;
+        }
+      }
+      co_return;
+    }
+    case TenantApp::kScan: {
+      int64_t n =
+          co_await kernel.Read(*t->proc, t->ino, t->offset, cls.io_bytes);
+      if (n < 0) {
+        *ok = false;
+      }
+      t->offset = (t->offset + cls.io_bytes) % cls.file_bytes;
+      co_return;
+    }
+    case TenantApp::kBatch: {
+      uint64_t slots = cls.file_bytes / cls.io_bytes;
+      for (int i = 0; i < cls.burst_ops; ++i) {
+        uint64_t off = (slots > 0 ? t->rng.Below(slots) : 0) * cls.io_bytes;
+        if (co_await kernel.Write(*t->proc, t->ino, off, cls.io_bytes) < 0) {
+          *ok = false;
+          co_return;
+        }
+      }
+      if (cls.fsync_every > 0 &&
+          ++t->arrivals_since_fsync >= cls.fsync_every) {
+        t->arrivals_since_fsync = 0;
+        if (co_await kernel.Fsync(*t->proc, t->ino) < 0) {
+          *ok = false;
+        }
+      }
+      co_return;
+    }
+  }
+}
+
+Task<void> TenantRegistry::RunTenant(TenantState* t) {
+  // First arrival is uniform in [0, think_mean): staggers the fleet and
+  // guarantees every tenant issues at least one op well before the horizon
+  // (an exponential first draw could idle a tenant past it, which the SLO
+  // tracker would count as starvation).
+  bool first = true;
+  for (;;) {
+    Nanos think = first ? static_cast<Nanos>(t->rng.NextDouble() *
+                                             t->cls->think_mean)
+                        : ExpInterval(t->rng, t->cls->think_mean);
+    first = false;
+    co_await Delay(think);
+    Nanos now = Simulator::current().Now();
+    if (now >= config_.until) {
+      break;
+    }
+    t->op_start = now;
+    bool ok = false;
+    co_await RunOp(t, &ok);
+    Nanos latency = Simulator::current().Now() - t->op_start;
+    t->op_start = kNanosMax;
+    if (ok) {
+      slo_.Record(t->id, latency);
+      ++total_ops_;
+    } else {
+      ++failed_ops_;
+    }
+  }
+}
+
+void TenantRegistry::RecordCensored(Nanos now) {
+  for (const auto& t : tenants_) {
+    if (t->op_start != kNanosMax && now > t->op_start) {
+      slo_.Record(t->id, now - t->op_start);
+      t->op_start = kNanosMax;
+    }
+  }
+}
+
+}  // namespace splitio

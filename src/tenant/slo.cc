@@ -1,0 +1,94 @@
+#include "src/tenant/slo.h"
+
+namespace splitio {
+
+void SloTracker::Register(int tenant, int group, const SloSpec& spec) {
+  Tenant& t = tenants_[tenant];
+  t.group = group;
+  t.spec = spec;
+}
+
+void SloTracker::Record(int tenant, Nanos latency) {
+  tenants_[tenant].latency.Add(latency);
+}
+
+SloTracker::TenantReport SloTracker::Evaluate(int id, const Tenant& t) const {
+  TenantReport r;
+  r.tenant = id;
+  r.group = t.group;
+  r.ops = t.latency.count();
+  if (r.ops > 0) {
+    r.p50 = t.latency.Percentile(50);
+    r.p99 = t.latency.Percentile(99);
+    r.p999 = t.latency.Percentile(99.9);
+    r.max = t.latency.Max();
+    auto broke = [](Nanos spec, Nanos observed) {
+      return spec > 0 && observed > spec;
+    };
+    r.violations = (broke(t.spec.p50, r.p50) ? 1 : 0) +
+                   (broke(t.spec.p99, r.p99) ? 1 : 0) +
+                   (broke(t.spec.p999, r.p999) ? 1 : 0);
+  } else {
+    // Starved outright: every spec'd percentile counts as broken.
+    r.violations = (t.spec.p50 > 0 ? 1 : 0) + (t.spec.p99 > 0 ? 1 : 0) +
+                   (t.spec.p999 > 0 ? 1 : 0);
+  }
+  return r;
+}
+
+std::vector<SloTracker::TenantReport> SloTracker::TenantReports() const {
+  std::vector<TenantReport> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, t] : tenants_) {
+    out.push_back(Evaluate(id, t));
+  }
+  return out;
+}
+
+std::vector<SloTracker::GroupReport> SloTracker::GroupReports() const {
+  std::map<int, GroupReport> groups;
+  std::map<int, LatencyRecorder> pooled;
+  for (const auto& [id, t] : tenants_) {
+    GroupReport& g = groups[t.group];
+    g.group = t.group;
+    ++g.tenants;
+    g.ops += t.latency.count();
+    LatencyRecorder& pool = pooled[t.group];
+    for (Nanos sample : t.latency.samples()) {
+      pool.Add(sample);
+    }
+    TenantReport r = Evaluate(id, t);
+    if (r.violations > 0) {
+      ++g.violating_tenants;
+    }
+    if (r.p999 > g.worst_p999 || g.worst_tenant < 0) {
+      g.worst_p999 = r.p999;
+      g.worst_tenant = id;
+    }
+  }
+  std::vector<GroupReport> out;
+  out.reserve(groups.size());
+  for (auto& [gid, g] : groups) {
+    LatencyRecorder& pool = pooled[gid];
+    if (pool.count() > 0) {
+      g.p50 = pool.Percentile(50);
+      g.p99 = pool.Percentile(99);
+      g.p999 = pool.Percentile(99.9);
+      g.max = pool.Max();
+    }
+    out.push_back(g);
+  }
+  return out;
+}
+
+uint64_t SloTracker::ViolatingTenants() const {
+  uint64_t n = 0;
+  for (const auto& [id, t] : tenants_) {
+    if (Evaluate(id, t).violations > 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace splitio

@@ -1,0 +1,92 @@
+// Per-tenant SLO tracking: latency objectives, tail percentiles, and
+// violation accounting at 10^3..10^4 tenants (ISSUE 7).
+//
+// Each tenant registers an SLO — latency ceilings at p50 / p99 / p99.9 —
+// and records the end-to-end latency of every completed operation (the
+// same samples the obs span machinery attributes per layer; here they are
+// kept per tenant so the tail of *each customer*, not of the aggregate, is
+// the object of study: an aggregate p99 hides one tenant whose every
+// request is slow). Reports fold tenants into their token/priority groups:
+// pooled percentiles over all member samples plus the count of member
+// tenants whose own tail broke their objective — the per-figure metric
+// bench_multitenant exports to BENCHJSON.
+//
+// Percentiles are nearest-rank via LatencyRecorder (src/metrics/stats.h);
+// a tenant with fewer than 1/(1-p) samples gets its max as the p-tail,
+// which errs on the strict side — a too-small sample never masks a
+// violation.
+#ifndef SRC_TENANT_SLO_H_
+#define SRC_TENANT_SLO_H_
+
+#include <map>
+#include <vector>
+
+#include "src/metrics/stats.h"
+#include "src/sim/time.h"
+
+namespace splitio {
+
+// Latency ceilings; 0 means "not part of this tenant's objective".
+struct SloSpec {
+  Nanos p50 = 0;
+  Nanos p99 = 0;
+  Nanos p999 = 0;
+};
+
+class SloTracker {
+ public:
+  void Register(int tenant, int group, const SloSpec& spec);
+  void Record(int tenant, Nanos latency);
+
+  struct TenantReport {
+    int tenant = -1;
+    int group = -1;
+    uint64_t ops = 0;
+    Nanos p50 = 0;
+    Nanos p99 = 0;
+    Nanos p999 = 0;
+    Nanos max = 0;
+    // Number of spec'd percentiles the tenant broke (0 = SLO held). A
+    // registered tenant that completed no operations violates every spec'd
+    // percentile: total starvation is the worst tail, not a clean one.
+    int violations = 0;
+  };
+
+  struct GroupReport {
+    int group = -1;
+    uint64_t tenants = 0;
+    uint64_t ops = 0;
+    // Pooled percentiles over all member samples.
+    Nanos p50 = 0;
+    Nanos p99 = 0;
+    Nanos p999 = 0;
+    Nanos max = 0;
+    // Members whose own tail broke their objective, and the worst of them.
+    uint64_t violating_tenants = 0;
+    int worst_tenant = -1;
+    Nanos worst_p999 = 0;
+  };
+
+  // Per-tenant evaluation, ordered by tenant id.
+  std::vector<TenantReport> TenantReports() const;
+  // Per-group roll-up, ordered by group id.
+  std::vector<GroupReport> GroupReports() const;
+  // Total tenants violating their SLO (any spec'd percentile).
+  uint64_t ViolatingTenants() const;
+
+  uint64_t tenants() const { return tenants_.size(); }
+
+ private:
+  struct Tenant {
+    int group = -1;
+    SloSpec spec;
+    mutable LatencyRecorder latency;
+  };
+  TenantReport Evaluate(int id, const Tenant& t) const;
+
+  std::map<int, Tenant> tenants_;
+};
+
+}  // namespace splitio
+
+#endif  // SRC_TENANT_SLO_H_

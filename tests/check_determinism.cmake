@@ -11,11 +11,17 @@ endif()
 # still suspended, so their frames are (intentionally) alive at exit —
 # LeakSanitizer would flag them in the SPLITIO_SANITIZE build. ASan/UBSan
 # error checking itself stays active.
+# Optional -DEXTRA_ENV=NAME=VALUE adds one more environment variable to
+# both runs (e.g. SPLITIO_MT_TENANTS=150 to size the multi-tenant sweep).
+set(extra_env "")
+if(DEFINED EXTRA_ENV)
+  set(extra_env ${EXTRA_ENV})
+endif()
 execute_process(COMMAND ${CMAKE_COMMAND} -E env ASAN_OPTIONS=detect_leaks=0
-                ${BENCH} --seed 123
+                ${extra_env} ${BENCH} --seed 123
                 OUTPUT_VARIABLE out1 RESULT_VARIABLE rc1)
 execute_process(COMMAND ${CMAKE_COMMAND} -E env ASAN_OPTIONS=detect_leaks=0
-                ${BENCH} --seed 123
+                ${extra_env} ${BENCH} --seed 123
                 OUTPUT_VARIABLE out2 RESULT_VARIABLE rc2)
 if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0)
   message(FATAL_ERROR "bench exited nonzero: ${rc1} / ${rc2}")

@@ -101,6 +101,7 @@ TEST(Counters, DeltaSubtractsEveryField) {
   before.journal_commits = v++;
   before.wb_pages_flushed = v++;
   before.mq_kicks = v++;
+  before.allocs = v++;
   Counters after = before;
   uint64_t bump = 100;
   after.sim_events += bump + 0;
@@ -117,6 +118,7 @@ TEST(Counters, DeltaSubtractsEveryField) {
   after.journal_commits += bump + 11;
   after.wb_pages_flushed += bump + 12;
   after.mq_kicks += bump + 13;
+  after.allocs += bump + 14;
   Counters d = after.Delta(before);
   EXPECT_EQ(d.sim_events, bump + 0);
   EXPECT_EQ(d.sim_immediate, bump + 1);
@@ -132,10 +134,12 @@ TEST(Counters, DeltaSubtractsEveryField) {
   EXPECT_EQ(d.journal_commits, bump + 11);
   EXPECT_EQ(d.wb_pages_flushed, bump + 12);
   EXPECT_EQ(d.mq_kicks, bump + 13);
+  EXPECT_EQ(d.allocs, bump + 14);
   // Self-delta is all zeros.
   Counters zero = before.Delta(before);
   EXPECT_EQ(zero.sim_events, 0u);
   EXPECT_EQ(zero.mq_kicks, 0u);
+  EXPECT_EQ(zero.allocs, 0u);
 }
 
 TEST(ThroughputMeter, ComputesMBps) {

@@ -1,0 +1,384 @@
+// Tests for the multi-tenant subsystem (src/tenant): hierarchical token
+// accounting (leaf buckets drawing from group budgets, conservation
+// oracle, mutation negative control), syscall-layer admission control
+// (queue-depth delay/reject, token-debt gating, per-tenant accounting),
+// per-tenant SLO tracking, and the cloud-backend scenario driver's
+// determinism.
+#include <gtest/gtest.h>
+
+#include "src/apps/cloud_backend.h"
+#include "src/metrics/stats.h"
+#include "src/sim/simulator.h"
+#include "src/tenant/admission.h"
+#include "src/tenant/hier_token.h"
+#include "src/tenant/slo.h"
+
+namespace splitio {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HierTokenAccounts
+
+TEST(HierToken, ChargeDrawsFromLeafAndGroup) {
+  HierTokenAccounts acc;
+  acc.SetLeafLimit(1, 1000.0, 1.0);   // capacity 1000
+  acc.SetGroupLimit(9, 5000.0, 1.0);  // capacity 5000
+  acc.BindLeafToGroup(1, 9);
+
+  acc.Charge(1, 600.0);
+  EXPECT_DOUBLE_EQ(acc.LeafCharged(1), 600.0);
+  EXPECT_DOUBLE_EQ(acc.GroupCharged(9), 600.0);
+  EXPECT_DOUBLE_EQ(acc.LeafBalance(1), 400.0);
+  EXPECT_DOUBLE_EQ(acc.GroupBalance(9), 4400.0);
+  EXPECT_TRUE(acc.CanAdmit(1));
+
+  // Refunds subtract on both levels.
+  acc.Charge(1, -100.0);
+  EXPECT_DOUBLE_EQ(acc.LeafCharged(1), 500.0);
+  EXPECT_DOUBLE_EQ(acc.GroupCharged(9), 500.0);
+  EXPECT_TRUE(acc.CheckConservation().empty());
+}
+
+TEST(HierToken, GroupInsolvencyBlocksPrivatelySolventLeaf) {
+  HierTokenAccounts acc;
+  acc.SetLeafLimit(1, 10000.0, 1.0);
+  acc.SetLeafLimit(2, 10000.0, 1.0);
+  acc.SetGroupLimit(9, 1000.0, 1.0);  // shared budget far below the leaves
+  acc.BindLeafToGroup(1, 9);
+  acc.BindLeafToGroup(2, 9);
+
+  // Leaf 1 drains the whole group budget while staying privately solvent.
+  acc.Charge(1, 1500.0);
+  EXPECT_GT(acc.LeafBalance(2), 0.0);
+  EXPECT_LT(acc.GroupBalance(9), 0.0);
+  EXPECT_FALSE(acc.CanAdmit(1));
+  EXPECT_FALSE(acc.CanAdmit(2));  // throttled by its class, not itself
+  EXPECT_TRUE(acc.CheckConservation().empty());
+}
+
+TEST(HierToken, UnknownLeafBehavesLikeFlatSchedulers) {
+  HierTokenAccounts acc;
+  acc.SetGroupLimit(9, 1000.0, 1.0);
+  // No bucket, no charge: unknown leaves pass through untouched.
+  acc.Charge(42, 1e9);
+  EXPECT_TRUE(acc.CanAdmit(42));
+  EXPECT_FALSE(acc.HasLeaf(42));
+  EXPECT_DOUBLE_EQ(acc.GroupCharged(9), 0.0);
+  EXPECT_EQ(acc.GroupOf(42), -1);
+}
+
+TEST(HierToken, UnlimitedLeafBoundToGroupStillChargesGroup) {
+  HierTokenAccounts acc;
+  acc.SetGroupLimit(9, 1000.0, 1.0);
+  acc.BindLeafToGroup(3, 9);  // created unthrottled, group-only accounting
+
+  acc.Charge(3, 800.0);
+  EXPECT_DOUBLE_EQ(acc.GroupCharged(9), 800.0);
+  EXPECT_TRUE(acc.CanAdmit(3));
+  acc.Charge(3, 800.0);
+  EXPECT_FALSE(acc.CanAdmit(3));  // group in debt; leaf itself unlimited
+  EXPECT_TRUE(acc.CheckConservation().empty());
+}
+
+TEST(HierToken, RefillRestoresAdmission) {
+  HierTokenAccounts acc;
+  acc.SetLeafLimit(1, 1000.0, 1.0);
+  acc.SetGroupLimit(9, 1000.0, 1.0);
+  acc.BindLeafToGroup(1, 9);
+  acc.RefillAll(0);  // anchor the refill clock (first Refill only records t)
+
+  acc.Charge(1, 2000.0);
+  EXPECT_FALSE(acc.CanAdmit(1));
+  EXPECT_FALSE(acc.AnyAdmittable());
+  acc.RefillAll(Sec(2));  // 2 s at 1000 B/s repays the 1000-token debt
+  EXPECT_TRUE(acc.CanAdmit(1));
+  EXPECT_TRUE(acc.AnyAdmittable());
+}
+
+TEST(HierToken, ConservationHoldsAcrossManyChargesAndRefunds) {
+  HierTokenAccounts acc;
+  for (int leaf = 0; leaf < 8; ++leaf) {
+    acc.SetLeafLimit(leaf, 1000.0 + leaf, 1.0);
+    acc.BindLeafToGroup(leaf, leaf % 2);
+  }
+  acc.SetGroupLimit(0, 4000.0, 1.0);
+  acc.SetGroupLimit(1, 4000.0, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    int leaf = i % 8;
+    acc.Charge(leaf, (i % 7 == 0) ? -50.0 : 125.0);
+  }
+  EXPECT_TRUE(acc.CheckConservation().empty()) << acc.CheckConservation();
+}
+
+TEST(HierToken, MutationNegativeControlCaughtByConservation) {
+  HierTokenAccounts acc;
+  acc.SetLeafLimit(1, 1000.0, 1.0);
+  acc.SetGroupLimit(9, 1000.0, 1.0);
+  acc.BindLeafToGroup(1, 9);
+
+  acc.set_buggy_group_skip(true);
+  acc.Charge(1, 500.0);
+  // The leaf was charged, the group silently was not: the oracle must see
+  // the books not balancing.
+  EXPECT_DOUBLE_EQ(acc.LeafCharged(1), 500.0);
+  EXPECT_DOUBLE_EQ(acc.GroupCharged(9), 0.0);
+  EXPECT_FALSE(acc.CheckConservation().empty());
+}
+
+TEST(HierToken, RebindMovesLeafBetweenGroups) {
+  HierTokenAccounts acc;
+  acc.SetLeafLimit(1, 1000.0, 1.0);
+  acc.SetGroupLimit(8, 1000.0, 1.0);
+  acc.SetGroupLimit(9, 1000.0, 1.0);
+  acc.BindLeafToGroup(1, 8);
+  acc.Charge(1, 100.0);
+  EXPECT_EQ(acc.GroupOf(1), 8);
+
+  acc.BindLeafToGroup(1, 9);
+  EXPECT_EQ(acc.GroupOf(1), 9);
+  acc.Charge(1, 200.0);
+  EXPECT_DOUBLE_EQ(acc.GroupCharged(9), 200.0);
+  // The departing member's ledger left group 8 with it — conservation is
+  // defined over current members, so the books balance on both sides of
+  // the move.
+  EXPECT_DOUBLE_EQ(acc.GroupCharged(8), 0.0);
+  EXPECT_TRUE(acc.CheckConservation().empty()) << acc.CheckConservation();
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+
+TEST(Admission, QueueDepthDelaysSecondCall) {
+  Simulator sim;
+  AdmissionConfig cfg;
+  cfg.max_inflight_per_tenant = 1;
+  AdmissionController adm(cfg);
+  Process proc(1, "tenant");
+  proc.set_account(7);
+
+  auto holder = [&]() -> Task<void> {
+    int rc = co_await adm.Enter(proc);
+    EXPECT_EQ(rc, 0);
+    co_await Delay(Msec(10));
+    adm.Exit(proc);
+  };
+  auto waiter = [&]() -> Task<void> {
+    co_await Delay(Msec(1));
+    int rc = co_await adm.Enter(proc);
+    EXPECT_EQ(rc, 0);
+    // Admission waited for the holder's Exit at t=10ms.
+    EXPECT_GE(Simulator::current().Now(), Msec(10));
+    adm.Exit(proc);
+  };
+  sim.Spawn(holder());
+  sim.Spawn(waiter());
+  sim.Run(Sec(1));
+
+  EXPECT_EQ(adm.totals().admitted, 2u);
+  EXPECT_EQ(adm.totals().delayed, 1u);
+  EXPECT_EQ(adm.totals().rejected, 0u);
+  EXPECT_GE(adm.totals().delay_ns, Msec(9));
+  EXPECT_EQ(adm.totals().inflight, 0);
+  AdmissionController::Stats per = adm.TenantStats(7);
+  EXPECT_EQ(per.admitted, 2u);
+  EXPECT_EQ(per.delayed, 1u);
+}
+
+TEST(Admission, RejectPolicyReturnsEagain) {
+  Simulator sim;
+  AdmissionConfig cfg;
+  cfg.max_inflight_per_tenant = 1;
+  cfg.reject = true;
+  AdmissionController adm(cfg);
+  Process proc(1, "tenant");
+  proc.set_account(3);
+
+  auto holder = [&]() -> Task<void> {
+    int rc = co_await adm.Enter(proc);
+    EXPECT_EQ(rc, 0);
+    co_await Delay(Msec(10));
+    adm.Exit(proc);
+  };
+  auto shed = [&]() -> Task<void> {
+    co_await Delay(Msec(1));
+    int rc = co_await adm.Enter(proc);
+    EXPECT_EQ(rc, kEagain);  // turned away, not queued
+    EXPECT_EQ(Simulator::current().Now(), Msec(1));
+  };
+  sim.Spawn(holder());
+  sim.Spawn(shed());
+  sim.Run(Sec(1));
+
+  EXPECT_EQ(adm.totals().admitted, 1u);
+  EXPECT_EQ(adm.totals().rejected, 1u);
+  EXPECT_EQ(adm.TenantStats(3).rejected, 1u);
+  EXPECT_EQ(adm.totals().inflight, 0);
+}
+
+TEST(Admission, TokenDebtGatesEntryUntilRefill) {
+  Simulator sim;
+  HierTokenAccounts acc;
+  acc.SetLeafLimit(5, 1000.0, 1.0);
+  acc.RefillAll(0);       // anchor the refill clock
+  acc.Charge(5, 2000.0);  // 1000 tokens of debt: 1 s of refill to clear
+
+  AdmissionConfig cfg;
+  cfg.gate_on_token_debt = true;
+  AdmissionController adm(cfg);
+  adm.AttachAccounts(&acc);
+  Process proc(1, "debtor");
+  proc.set_account(5);
+
+  auto debtor = [&]() -> Task<void> {
+    int rc = co_await adm.Enter(proc);
+    EXPECT_EQ(rc, 0);
+    EXPECT_GE(Simulator::current().Now(), Sec(1));
+    adm.Exit(proc);
+  };
+  auto refiller = [&]() -> Task<void> {
+    co_await Delay(Sec(2));
+    acc.RefillAll(Sec(2));
+  };
+  sim.Spawn(debtor());
+  sim.Spawn(refiller());
+  sim.Run(Sec(5));
+
+  EXPECT_EQ(adm.totals().admitted, 1u);
+  EXPECT_EQ(adm.totals().delayed, 1u);
+  EXPECT_GE(adm.totals().delay_ns, Sec(2) - Msec(1));
+}
+
+TEST(Admission, TokenDebtRejectsUnderRejectPolicy) {
+  Simulator sim;
+  HierTokenAccounts acc;
+  acc.SetLeafLimit(5, 1000.0, 1.0);
+  acc.RefillAll(0);
+  acc.Charge(5, 2000.0);
+
+  AdmissionConfig cfg;
+  cfg.gate_on_token_debt = true;
+  cfg.reject = true;
+  AdmissionController adm(cfg);
+  adm.AttachAccounts(&acc);
+  Process proc(1, "debtor");
+  proc.set_account(5);
+
+  auto body = [&]() -> Task<void> {
+    EXPECT_EQ(co_await adm.Enter(proc), kEagain);
+    acc.RefillAll(Sec(2));  // debt repaid: next call is admitted
+    EXPECT_EQ(co_await adm.Enter(proc), 0);
+    adm.Exit(proc);
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(5));
+
+  EXPECT_EQ(adm.totals().rejected, 1u);
+  EXPECT_EQ(adm.totals().admitted, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SloTracker
+
+TEST(Slo, ZeroOpTenantViolatesEverySpecdPercentile) {
+  SloTracker slo;
+  SloSpec spec;
+  spec.p50 = Msec(10);
+  spec.p999 = Msec(100);
+  slo.Register(1, 0, spec);
+
+  auto reports = slo.TenantReports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].ops, 0u);
+  // Total starvation is the worst tail, not a clean one: both spec'd
+  // percentiles (p50, p999) count as broken.
+  EXPECT_EQ(reports[0].violations, 2);
+  EXPECT_EQ(slo.ViolatingTenants(), 1u);
+}
+
+TEST(Slo, GroupRollupCountsViolatingMembers) {
+  SloTracker slo;
+  SloSpec spec;
+  spec.p999 = Msec(10);
+  slo.Register(1, 0, spec);
+  slo.Register(2, 0, spec);
+  for (int i = 0; i < 100; ++i) {
+    slo.Record(1, Msec(1));   // comfortably inside
+    slo.Record(2, Msec(50));  // every op over the ceiling
+  }
+
+  auto groups = slo.GroupReports();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].tenants, 2u);
+  EXPECT_EQ(groups[0].ops, 200u);
+  EXPECT_EQ(groups[0].violating_tenants, 1u);
+  EXPECT_EQ(groups[0].worst_tenant, 2);
+  EXPECT_EQ(groups[0].worst_p999, Msec(50));
+  EXPECT_EQ(slo.ViolatingTenants(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// p99.9 small-sample handling (satellite of the same issue)
+
+TEST(LatencyRecorderTail, TailResolvedNeedsEnoughSamples) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 1000; ++i) {
+    rec.Add(Usec(i));
+  }
+  // At exactly 1000 samples the p99.9 nearest rank is the last sample:
+  // Percentile degenerates to Max and TailResolved says so.
+  EXPECT_FALSE(rec.TailResolved(99.9));
+  EXPECT_TRUE(rec.TailResolved(99.0));
+  EXPECT_EQ(rec.Percentile(99.9), rec.Max());
+
+  rec.Add(Usec(1001));
+  EXPECT_TRUE(rec.TailResolved(99.9));
+  EXPECT_EQ(rec.Percentile(99.9), Usec(1000));  // now strictly inside
+  EXPECT_EQ(rec.Max(), Usec(1001));
+}
+
+// ---------------------------------------------------------------------------
+// Cloud backend scenario driver
+
+TEST(CloudBackend, SmallRunIsDeterministic) {
+  CloudBackendParams p;
+  p.tenants = 30;
+  p.duration = Sec(2);
+  p.drain = Sec(2);
+  CloudBackendResult a = RunCloudBackend(p);
+  CloudBackendResult b = RunCloudBackend(p);
+
+  EXPECT_GT(a.total_ops, 0u);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.failed_ops, b.failed_ops);
+  EXPECT_EQ(a.admission_admitted, b.admission_admitted);
+  EXPECT_EQ(a.admission_delayed, b.admission_delayed);
+  EXPECT_EQ(a.admission_rejected, b.admission_rejected);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_EQ(a.groups[i].name, b.groups[i].name);
+    EXPECT_EQ(a.groups[i].ops, b.groups[i].ops);
+    EXPECT_EQ(a.groups[i].p999, b.groups[i].p999);
+    EXPECT_EQ(a.groups[i].violating_tenants, b.groups[i].violating_tenants);
+  }
+  EXPECT_TRUE(a.conservation_error.empty()) << a.conservation_error;
+}
+
+TEST(CloudBackend, TokenRunExercisesAdmissionAndBudgets) {
+  CloudBackendParams p;
+  p.tenants = 30;
+  p.duration = Sec(2);
+  p.drain = Sec(2);
+  CloudBackendResult r = RunCloudBackend(p);
+  // All three tiers saw work, the shared-budget accounting balanced, and
+  // the syscall gate actually admitted the traffic.
+  ASSERT_EQ(r.groups.size(), 3u);
+  for (const CloudGroupOutcome& g : r.groups) {
+    EXPECT_GT(g.tenants, 0u) << g.name;
+    EXPECT_GT(g.ops, 0u) << g.name;
+  }
+  EXPECT_GT(r.admission_admitted, 0u);
+  EXPECT_TRUE(r.conservation_error.empty()) << r.conservation_error;
+}
+
+}  // namespace
+}  // namespace splitio

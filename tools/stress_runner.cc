@@ -22,6 +22,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "src/stress/runner.h"
 
@@ -31,9 +32,10 @@ int Usage() {
   std::fprintf(stderr,
                "usage: stress_runner [--seeds N] [--seed-start N]\n"
                "                     [--budget SECONDS] [--out-dir DIR]\n"
-               "                     [--no-minimize] [--no-content-diff]\n"
-               "                     [--no-mq-equiv] [--control NAME]\n"
-               "                     [--sched NAME] [--max-ops N] [--verbose]\n"
+               "                     [--jobs N] [--no-minimize]\n"
+               "                     [--no-content-diff] [--no-mq-equiv]\n"
+               "                     [--control NAME] [--sched NAME]\n"
+               "                     [--max-ops N] [--verbose]\n"
                "       stress_runner --replay FILE\n"
                "controls: skip-preflush | misordered-elevator | "
                "drop-completion\n");
@@ -89,6 +91,18 @@ int main(int argc, char** argv) {
         return Usage();
       }
       options.out_dir = val;
+    } else if (arg == "--jobs") {
+      // 0 = one worker per hardware thread. Output stays in seed order
+      // regardless of the worker count (see StressOptions::jobs).
+      const char* val = next();
+      if (val == nullptr || !ParseLong(val, &v) || v < 0) {
+        return Usage();
+      }
+      options.jobs = static_cast<int>(v);
+      if (options.jobs == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        options.jobs = hw > 0 ? static_cast<int>(hw) : 1;
+      }
     } else if (arg == "--no-minimize") {
       options.minimize = false;
     } else if (arg == "--no-content-diff") {

@@ -6,7 +6,7 @@
 //   trace_stats --diff OLD.jsonl NEW.jsonl [--threshold FRACTION]
 //
 // Single-file mode prints, per scheduler label, a per-layer residency table
-// (count / mean / p50 / p95 / p99 ms for cache, journal, software queue,
+// (count / mean / p50 / p95 / p99 / p99.9 ms for cache, journal, software queue,
 // elevator, device, and end-to-end). Diff mode aligns two traces by
 // scheduler label and reports the change in mean residency per layer; it
 // exits non-zero if any scheduler's end-to-end mean regressed by more than
@@ -158,17 +158,18 @@ int PrintStats(const std::string& path) {
   for (const auto& [sched, stats] : by_sched) {
     std::printf("\n-- %s (%llu spans) --\n", sched.c_str(),
                 static_cast<unsigned long long>(stats.spans));
-    std::printf("%10s %10s %10s %10s %10s %8s\n", "layer", "mean(ms)",
-                "p50(ms)", "p95(ms)", "p99(ms)", "share");
+    std::printf("%10s %10s %10s %10s %10s %10s %8s\n", "layer", "mean(ms)",
+                "p50(ms)", "p95(ms)", "p99(ms)", "p99.9(ms)", "share");
     double total_mean = stats.layers[kLayers - 1].Mean();
     for (size_t i = 0; i < kLayers; ++i) {
       const LayerSamples& layer = stats.layers[i];
       double share = total_mean > 0 && i + 1 < kLayers
                          ? 100.0 * layer.Mean() / total_mean
                          : 100.0;
-      std::printf("%10s %10.3f %10.3f %10.3f %10.3f %7.1f%%\n", kLayerNames[i],
-                  layer.Mean(), layer.Percentile(50), layer.Percentile(95),
-                  layer.Percentile(99), share);
+      std::printf("%10s %10.3f %10.3f %10.3f %10.3f %10.3f %7.1f%%\n",
+                  kLayerNames[i], layer.Mean(), layer.Percentile(50),
+                  layer.Percentile(95), layer.Percentile(99),
+                  layer.Percentile(99.9), share);
     }
   }
   std::printf("\n(share = layer mean / end-to-end mean; layers overlap the "
