@@ -39,12 +39,24 @@ CloudBackendResult RunOne(SchedKind kind, bool mq, int tenants) {
   return RunCloudBackend(p);
 }
 
-void PrintRow(SchedKind kind, bool mq, const CloudBackendResult& r) {
+// Hybrid policy specs run through the same backend via their registered
+// name (CloudBackendParams::spec_name).
+CloudBackendResult RunOneSpec(const std::string& spec_name, bool mq,
+                              int tenants) {
+  StackCounterScope scope(spec_name + (mq ? "/mq" : "/legacy"));
+  CloudBackendParams p;
+  p.tenants = tenants;
+  p.spec_name = spec_name;
+  p.mq = mq;
+  return RunCloudBackend(p);
+}
+
+void PrintRow(const char* name, bool mq, const CloudBackendResult& r) {
   const CloudGroupOutcome* gold = r.Group("gold");
   const CloudGroupOutcome* silver = r.Group("silver");
   const CloudGroupOutcome* bronze = r.Group("bronze");
   std::printf("%-15s %-7s %8llu %10.1f %10.1f %5llu %10.1f %8llu %8llu %8llu\n",
-              SchedName(kind), mq ? "mq" : "legacy",
+              name, mq ? "mq" : "legacy",
               static_cast<unsigned long long>(gold != nullptr ? gold->ops : 0),
               gold != nullptr ? Ms(gold->p999) : 0.0,
               gold != nullptr ? Ms(gold->max) : 0.0,
@@ -57,9 +69,9 @@ void PrintRow(SchedKind kind, bool mq, const CloudBackendResult& r) {
               static_cast<unsigned long long>(r.admission_rejected));
 }
 
-void ReportRun(SchedKind kind, bool mq, const CloudBackendResult& r) {
+void ReportRun(const char* name, bool mq, const CloudBackendResult& r) {
   const CloudGroupOutcome* gold = r.Group("gold");
-  std::string key = std::string("mt_") + SchedName(kind) + (mq ? "_mq" : "");
+  std::string key = std::string("mt_") + name + (mq ? "_mq" : "");
   ReportMetric(key + "_gold_p999_ms", gold != nullptr ? Ms(gold->p999) : 0.0);
   ReportMetric(key + "_gold_viol",
                gold != nullptr
@@ -101,8 +113,8 @@ int main(int argc, char** argv) {
   for (bool mq : {false, true}) {
     for (SchedKind kind : kAllSchedKinds) {
       CloudBackendResult r = RunOne(kind, mq, tenants);
-      PrintRow(kind, mq, r);
-      ReportRun(kind, mq, r);
+      PrintRow(SchedName(kind), mq, r);
+      ReportRun(SchedName(kind), mq, r);
       if (!r.conservation_error.empty()) {
         conservation_ok = false;
         std::printf("  !! token conservation: %s\n",
@@ -117,6 +129,18 @@ int main(int argc, char** argv) {
         if (kind == SchedKind::kCfq && !mq && gold->violating_tenants > 0) {
           cfq_breaks = true;
         }
+      }
+    }
+    // Hybrid composed policies: deadline dispatch over hierarchical tokens,
+    // and account-keyed AFQ — same mix, same admission path.
+    for (const char* spec_name : {"deadline-token", "tenant-afq"}) {
+      CloudBackendResult r = RunOneSpec(spec_name, mq, tenants);
+      PrintRow(spec_name, mq, r);
+      ReportRun(spec_name, mq, r);
+      if (!r.conservation_error.empty()) {
+        conservation_ok = false;
+        std::printf("  !! token conservation: %s\n",
+                    r.conservation_error.c_str());
       }
     }
   }

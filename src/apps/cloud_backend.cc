@@ -3,8 +3,7 @@
 #include <memory>
 #include <utility>
 
-#include "src/sched/scs_token.h"
-#include "src/sched/split_token.h"
+#include "src/sched/composed.h"
 #include "src/tenant/admission.h"
 
 namespace splitio {
@@ -85,9 +84,22 @@ std::vector<TenantClass> CloudTenantMix(int tenants) {
 CloudBackendResult RunCloudBackend(const CloudBackendParams& params) {
   Simulator sim;
   CpuModel cpu(16);
-  SchedInstance inst = MakeSched(params.sched);
-  auto* split_token = dynamic_cast<SplitTokenScheduler*>(inst.split.get());
-  auto* scs_token = dynamic_cast<ScsTokenScheduler*>(inst.split.get());
+  SchedInstance inst;
+  if (!params.spec_name.empty()) {
+    PolicySpec spec;
+    if (!NamedPolicySpec(params.spec_name, &spec)) {
+      CloudBackendResult bad;
+      bad.conservation_error = UnknownSchedMessage(params.spec_name);
+      return bad;
+    }
+    inst = MakeSched(spec);
+  } else {
+    inst = MakeSched(params.sched);
+  }
+  // Unified token-budget surface: split-token, scs-token, and any hybrid
+  // spec with a token axis all expose the hierarchical accounts here.
+  auto* composed = dynamic_cast<ComposedScheduler*>(inst.split.get());
+  bool token_budget = composed != nullptr && composed->has_token_budget();
 
   StackConfig cfg;
   if (params.mq) {
@@ -113,10 +125,8 @@ CloudBackendResult RunCloudBackend(const CloudBackendParams& params) {
   acfg.reject = params.admission_reject;
   AdmissionController admission(acfg);
   if (params.admission) {
-    if (split_token != nullptr) {
-      admission.AttachAccounts(&split_token->accounts());
-    } else if (scs_token != nullptr) {
-      admission.AttachAccounts(&scs_token->accounts());
+    if (token_budget) {
+      admission.AttachAccounts(&composed->accounts());
     }
     stack.kernel().set_admission(&admission);
   }
@@ -133,10 +143,8 @@ CloudBackendResult RunCloudBackend(const CloudBackendParams& params) {
   result.admission_delayed = admission.totals().delayed;
   result.admission_rejected = admission.totals().rejected;
   result.admission_delay = admission.totals().delay_ns;
-  if (split_token != nullptr) {
-    result.conservation_error = split_token->accounts().CheckConservation(1.0);
-  } else if (scs_token != nullptr) {
-    result.conservation_error = scs_token->accounts().CheckConservation(1.0);
+  if (token_budget) {
+    result.conservation_error = composed->accounts().CheckConservation(1.0);
   }
 
   for (const auto& report : registry.slo().GroupReports()) {

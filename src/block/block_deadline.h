@@ -22,15 +22,9 @@
 #include <string>
 
 #include "src/block/elevator.h"
+#include "src/sched/policy.h"  // BlockDeadlineConfig
 
 namespace splitio {
-
-struct BlockDeadlineConfig {
-  Nanos read_expiry = Msec(500);
-  Nanos write_expiry = Sec(5);
-  int fifo_batch = 16;
-  int writes_starved = 2;
-};
 
 class BlockDeadlineElevator : public Elevator {
  public:

@@ -19,13 +19,9 @@
 #include <string>
 
 #include "src/block/elevator.h"
+#include "src/sched/policy.h"  // CfqConfig
 
 namespace splitio {
-
-struct CfqConfig {
-  Nanos base_slice = Msec(20);   // device time per weight unit
-  Nanos idle_window = Msec(2);   // anticipation window for sync readers
-};
 
 class CfqElevator : public Elevator {
  public:

@@ -4,6 +4,7 @@
 
 #include "src/block/noop.h"
 #include "src/sched/afq.h"
+#include "src/sched/composed.h"
 #include "src/sched/split_noop.h"
 
 namespace splitio {
@@ -32,6 +33,32 @@ bool SchedKindFromName(const char* name, SchedKind* out) {
   return false;
 }
 
+std::string UnknownSchedMessage(const std::string& token) {
+  std::string msg = "unknown scheduler \"" + token + "\" (expected one of";
+  for (const std::string& name : AllPolicySpecNames()) {
+    msg += ' ';
+    msg += name;
+  }
+  msg += ')';
+  return msg;
+}
+
+PolicySpec SpecForKind(SchedKind kind, const SchedConfigs& configs) {
+  switch (kind) {
+    case SchedKind::kNoop: return BlockNoopSpec();
+    case SchedKind::kCfq: return CfqSpec(configs.cfq);
+    case SchedKind::kBlockDeadline:
+      return BlockDeadlineSpec(configs.block_deadline);
+    case SchedKind::kSplitNoop: return SplitNoopSpec();
+    case SchedKind::kAfq: return AfqSpec(configs.afq);
+    case SchedKind::kSplitDeadline:
+      return SplitDeadlineSpec(configs.split_deadline);
+    case SchedKind::kSplitToken: return SplitTokenSpec(configs.split_token);
+    case SchedKind::kScsToken: return ScsTokenSpec(configs.scs_token);
+  }
+  return BlockNoopSpec();
+}
+
 SchedInstance MakeSched(SchedKind kind, const SchedConfigs& configs) {
   SchedInstance out;
   switch (kind) {
@@ -49,7 +76,7 @@ SchedInstance MakeSched(SchedKind kind, const SchedConfigs& configs) {
       out.split = std::make_unique<SplitNoopScheduler>();
       break;
     case SchedKind::kAfq:
-      out.split = std::make_unique<AfqScheduler>();
+      out.split = std::make_unique<AfqScheduler>(configs.afq);
       break;
     case SchedKind::kSplitDeadline:
       out.split =
@@ -60,6 +87,26 @@ SchedInstance MakeSched(SchedKind kind, const SchedConfigs& configs) {
       break;
     case SchedKind::kScsToken:
       out.split = std::make_unique<ScsTokenScheduler>(configs.scs_token);
+      break;
+  }
+  return out;
+}
+
+SchedInstance MakeSched(const PolicySpec& spec) {
+  SchedInstance out;
+  switch (spec.dispatch) {
+    case DispatchKind::kLegacyNoop:
+      out.legacy = std::make_unique<NoopElevator>();
+      break;
+    case DispatchKind::kLegacyCfq:
+      out.legacy = std::make_unique<CfqElevator>(spec.legacy_cfq);
+      break;
+    case DispatchKind::kLegacyDeadline:
+      out.legacy =
+          std::make_unique<BlockDeadlineElevator>(spec.legacy_deadline);
+      break;
+    default:
+      out.split = std::make_unique<ComposedScheduler>(spec);
       break;
   }
   return out;

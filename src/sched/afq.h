@@ -14,97 +14,21 @@
 // Whenever a block request is dispatched, the estimated device cost (simple
 // seek model) is charged to the responsible processes from the request's
 // cause tag — so delegated writeback and journal I/O are billed correctly.
+//
+// The mechanism lives in StrideEngine (src/sched/engines.h); this class is
+// the canonical spec point tag=causes, dispatch=stride, budget=stride-pass
+// (AfqSpec). AfqConfig moved to src/sched/policy.h.
 #ifndef SRC_SCHED_AFQ_H_
 #define SRC_SCHED_AFQ_H_
 
-#include <deque>
-#include <map>
-#include <set>
-#include <string>
-
-#include "src/core/scheduler.h"
-#include "src/sched/util.h"
+#include "src/sched/composed.h"
 
 namespace splitio {
 
-struct AfqConfig {
-  // How far (in charged cost units = normalized bytes) a process's pass may
-  // run ahead of the minimum before its write-path syscalls are delayed.
-  // Charging happens ONLY at block-request dispatch/completion (the paper's
-  // design): a workload that causes no device I/O is never throttled.
-  double pass_slack = 4.0 * 1024 * 1024;
-  Nanos idle_window = Msec(2);  // read anticipation
-  // Keep serving the same reader while its pass is within this much of the
-  // minimum (slice stickiness — preserves sequential locality like CFQ's
-  // time slices).
-  double read_stickiness = 2.0 * 1024 * 1024;
-};
-
-class AfqScheduler : public SplitScheduler {
+class AfqScheduler : public ComposedScheduler {
  public:
   explicit AfqScheduler(const AfqConfig& config = AfqConfig())
-      : config_(config) {}
-
-  std::string name() const override { return "afq"; }
-
-  void Attach(const StackContext& ctx) override;
-
-  // ---- System-call hooks ----
-  Task<void> OnWriteEntry(Process& proc, int64_t ino, uint64_t offset,
-                          uint64_t len) override;
-  Task<void> OnFsyncEntry(Process& proc, int64_t ino) override;
-  Task<void> OnMetaEntry(Process& proc, MetaOp op,
-                         const std::string& path) override;
-
-  // ---- Memory hooks: prompt charging for new write work ----
-  void OnBufferDirty(Process& dirtier, Page& page, bool was_dirty,
-                     const CauseSet& prev) override;
-  void OnBufferFree(Page& page) override;
-
-  // ---- Block hooks (elevator) ----
-  void Add(BlockRequestPtr req) override;
-  BlockRequestPtr Next() override;
-  void OnComplete(const BlockRequest& req) override;
-  Nanos IdleHint() const override;
-  void OnIdleExpired() override;
-  bool Empty() const override;
-
- private:
-  static double Weight(const Process& proc) {
-    if (proc.io_class() == IoClass::kIdle) {
-      return 0.1;
-    }
-    return static_cast<double>(8 - proc.priority());
-  }
-
-  void Register(Process& proc);
-  // Blocks `proc` until its pass is within the slack of its peers' minimum.
-  Task<void> AdmitWriteWork(Process& proc);
-  void ChargeCauses(const BlockRequest& req);
-  // Charges (or refunds, when negative) `amount` split across `causes`.
-  void ChargeRaw(const CauseSet& causes, double amount);
-  double MinActivePass();
-
-  Task<void> Housekeep();
-  void NoteActivity(int32_t pid);
-
-  AfqConfig config_;
-  StrideState stride_;
-  std::map<int32_t, Process*> procs_;
-  // Processes with queued or in-flight work (the active set for MinPass).
-  std::set<int32_t> active_;
-  // Processes currently sleeping in a write-path entry hook; they stay in
-  // the active set so the pass floor cannot fall below their reach.
-  std::set<int32_t> blocked_;
-  std::map<int32_t, Nanos> last_activity_;
-  Event pass_advanced_;
-
-  // Block level: per-process read queues + immediate write FIFO.
-  std::map<int32_t, std::deque<BlockRequestPtr>> read_queues_;
-  std::deque<BlockRequestPtr> write_fifo_;
-  int32_t last_read_pid_ = -1;
-  Nanos anticipate_until_ = 0;
-  uint64_t queued_reads_ = 0;
+      : ComposedScheduler(AfqSpec(config)) {}
 };
 
 }  // namespace splitio

@@ -1,0 +1,762 @@
+#include "src/sched/engines.h"
+
+#include <limits>
+
+#include "src/block/block_layer.h"
+#include "src/device/device.h"
+#include "src/fs/filesystem.h"
+#include "src/obs/trace_sink.h"
+#include "src/sim/cpu.h"
+#include "src/sim/simulator.h"
+
+namespace splitio {
+
+// ===========================================================================
+// DeadlineEngine
+// ===========================================================================
+
+void DeadlineEngine::Attach(const StackContext& ctx) {
+  ctx_ = ctx;
+  if (writeback_ == WritebackKind::kSchedOwned) {
+    Simulator::current().Spawn(OwnWritebackLoop());
+  }
+}
+
+// ---------------- System-call level ----------------
+
+Task<void> DeadlineEngine::WriteEntry(Process& proc, int64_t ino,
+                                      uint64_t offset, uint64_t len) {
+  (void)proc, (void)ino, (void)offset, (void)len;
+  if (writeback_ == WritebackKind::kPdflushCapped) {
+    // Split-Pdflush mode: bound the ammunition pdflush can fire at once by
+    // capping dirty data at (background limit + margin). Writers stall just
+    // above the point where pdflush engages, so flush bursts stay small.
+    uint64_t cap = ctx_.cache->background_limit_pages() * kPageSize +
+                   config_.pdflush_dirty_margin_bytes;
+    while (ctx_.cache->dirty_bytes() > cap) {
+      ctx_.cache->KickWriteback();
+      co_await Delay(Msec(1));
+    }
+  }
+  co_return;
+}
+
+Nanos DeadlineEngine::EstimateFsyncCost(int64_t ino) const {
+  // Buffer-dirty accounting gives us the dirty page set promptly (§3.2);
+  // contiguous runs cost transfer time, each discontiguity a seek.
+  const std::map<uint64_t, Nanos>* dirty = ctx_.cache->DirtyIndices(ino);
+  if (dirty == nullptr || dirty->empty()) {
+    return 0;
+  }
+  uint64_t runs = 1;
+  uint64_t prev = dirty->begin()->first;
+  for (auto it = std::next(dirty->begin()); it != dirty->end(); ++it) {
+    if (it->first != prev + 1) {
+      ++runs;
+    }
+    prev = it->first;
+  }
+  const BlockDevice& device = ctx_.block->device();
+  Nanos seek = device.is_rotational() ? Msec(8) : Usec(200);
+  uint64_t bytes = dirty->size() * kPageSize;
+  return static_cast<Nanos>(runs) * seek +
+         TransferTime(bytes, device.sequential_bw());
+}
+
+Task<void> DeadlineEngine::FsyncEntry(Process& proc, int64_t ino) {
+  Nanos ddl = proc.fsync_deadline() != kNanosMax
+                  ? proc.fsync_deadline()
+                  : config_.default_fsync_deadline;
+
+  // Cost control: if this fsync would flush a large amount of data (known
+  // promptly from the buffer-dirty hook's accounting), first push the data
+  // out with *asynchronous* writeback, which creates no file-system
+  // synchronization point, until the remaining cost is small. The fsync
+  // joins the deadline queue only once it is cheap enough to issue — a
+  // still-spreading fsync must never gate others' admission.
+  while (EstimateFsyncCost(ino) > config_.fsync_direct_cost) {
+    co_await ctx_.fs->WritebackInode(ino, config_.own_writeback_batch_pages);
+    // Drain each batch before submitting the next: this is what spreads the
+    // cost. Anyone committing meanwhile waits for at most one batch of this
+    // file's ordered data instead of the whole backlog.
+    co_await ctx_.fs->WaitInflight(ino);
+  }
+
+  // Deadline-ordered admission: wait while an earlier-deadline fsync is
+  // pending admission.
+  Nanos deadline = Simulator::current().Now() + ddl;
+  auto it = fsync_deadlines_.insert(deadline);
+  while (*fsync_deadlines_.begin() < deadline) {
+    co_await fsync_turn_.Wait();
+  }
+  fsync_deadlines_.erase(it);
+  fsync_turn_.NotifyAll();
+  fsync_outstanding_.insert(deadline);
+}
+
+void DeadlineEngine::FsyncExit(Process& proc, int64_t ino) {
+  (void)proc, (void)ino;
+  if (!fsync_outstanding_.empty()) {
+    fsync_outstanding_.erase(fsync_outstanding_.begin());
+  }
+  fsync_turn_.NotifyAll();
+}
+
+// ---------------- Block level ----------------
+
+void DeadlineEngine::Add(BlockRequestPtr req) {
+  if (!req->is_write) {
+    Nanos ddl = config_.default_read_deadline;
+    if (req->submitter != nullptr &&
+        req->submitter->read_deadline() != kNanosMax) {
+      ddl = req->submitter->read_deadline();
+    }
+    req->deadline = req->enqueue_time + ddl;
+    sorted_[0].emplace(req->sector, req);
+    read_fifo_.push_back(std::move(req));
+    ++count_[0];
+  } else if (req->is_flush || req->is_journal || req->is_sync) {
+    // Someone's fsync is blocked on this write (or it is a durability
+    // barrier): it must not queue behind background writeback. Served ahead
+    // of the sorted location queues.
+    urgent_fifo_.push_back(std::move(req));
+    ++pending_;
+    return;
+  } else {
+    // Background writes carry no deadline (fsyncs do); sorted for
+    // throughput.
+    sorted_[1].emplace(req->sector, req);
+    ++count_[1];
+  }
+  ++pending_;
+}
+
+BlockRequestPtr DeadlineEngine::Finish(bool write, BlockRequestPtr req) {
+  req->elv_dispatched = true;
+  --count_[write ? 1 : 0];
+  --pending_;
+  next_sector_ = req->sector + req->bytes / kSectorSize;
+  return req;
+}
+
+BlockRequestPtr DeadlineEngine::PopSorted(bool write, uint64_t from) {
+  int dir = write ? 1 : 0;
+  if (sorted_[dir].empty()) {
+    return nullptr;
+  }
+  auto it = sorted_[dir].lower_bound(from);
+  if (it == sorted_[dir].end()) {
+    it = sorted_[dir].begin();
+  }
+  // Move straight out of the sorted index (the read FIFO is cleaned
+  // lazily) — no refcount round-trip and no second lookup.
+  BlockRequestPtr req = std::move(it->second);
+  sorted_[dir].erase(it);
+  return Finish(write, std::move(req));
+}
+
+BlockRequestPtr DeadlineEngine::PopReadFifo() {
+  while (!read_fifo_.empty()) {
+    BlockRequestPtr req = std::move(read_fifo_.front());
+    read_fifo_.pop_front();
+    if (!req->elv_dispatched) {
+      // Remove from the sorted index (which still holds its copy).
+      auto [lo, hi] = sorted_[0].equal_range(req->sector);
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second == req) {
+          sorted_[0].erase(it);
+          break;
+        }
+      }
+      return Finish(false, std::move(req));
+    }
+  }
+  return nullptr;
+}
+
+bool DeadlineEngine::ReadFifoExpired() const {
+  Nanos now = Simulator::current().Now();
+  for (const BlockRequestPtr& req : read_fifo_) {
+    if (!req->elv_dispatched) {
+      return req->deadline <= now;
+    }
+  }
+  return false;
+}
+
+BlockRequestPtr DeadlineEngine::Next() {
+  if (pending_ == 0) {
+    return nullptr;
+  }
+  // Expired reads always jump the queue.
+  if (ReadFifoExpired()) {
+    batch_remaining_ = config_.fifo_batch - 1;
+    dir_write_ = false;
+    return PopReadFifo();
+  }
+  // Fsync-critical writes next (journal commits, fsync data flushes).
+  if (!urgent_fifo_.empty()) {
+    BlockRequestPtr req = std::move(urgent_fifo_.front());
+    urgent_fifo_.pop_front();
+    --pending_;
+    next_sector_ = req->sector + req->bytes / kSectorSize;
+    return req;
+  }
+  if (batch_remaining_ > 0 && count_[dir_write_ ? 1 : 0] > 0) {
+    --batch_remaining_;
+    return PopSorted(dir_write_, next_sector_);
+  }
+  bool write;
+  if (count_[0] > 0 && (count_[1] == 0 || starved_ < config_.writes_starved)) {
+    write = false;
+    if (count_[1] > 0) {
+      ++starved_;
+    }
+  } else {
+    write = true;
+    starved_ = 0;
+  }
+  dir_write_ = write;
+  batch_remaining_ = config_.fifo_batch - 1;
+  return PopSorted(write, next_sector_);
+}
+
+// ---------------- Scheduler-owned writeback ----------------
+
+bool DeadlineEngine::DeadlinePressure() const {
+  // Deadline at risk: a queued read near expiry or an fsync admitted and
+  // outstanding.
+  if (!fsync_outstanding_.empty()) {
+    return true;
+  }
+  Nanos now = Simulator::current().Now();
+  for (const BlockRequestPtr& req : read_fifo_) {
+    if (!req->elv_dispatched && req->deadline - now < Msec(20)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Task<void> DeadlineEngine::OwnWritebackLoop() {
+  for (;;) {
+    co_await Delay(config_.own_writeback_period);
+    if (DeadlinePressure()) {
+      continue;  // never compete with deadline-bound I/O
+    }
+    int64_t ino = ctx_.cache->OldestDirtyInode();
+    if (ino < 0) {
+      continue;
+    }
+    if (obs::TracingActive()) {
+      // Scheduler-initiated writeback round: the wb_kick analogue for the
+      // own-writeback mode, where no daemon kick ever happens.
+      obs::TraceEvent e;
+      e.type = obs::EventType::kWbKick;
+      e.ino = ino;
+      obs::EmitEvent(std::move(e));
+    }
+    co_await ctx_.fs->WritebackInode(ino, config_.own_writeback_batch_pages);
+  }
+}
+
+// ===========================================================================
+// StrideEngine
+// ===========================================================================
+
+void StrideEngine::Register(Process& proc) {
+  auto [it, inserted] = procs_.try_emplace(proc.pid(), &proc);
+  if (key_ == QueueKey::kPid) {
+    if (inserted) {
+      stride_.SetWeight(proc.pid(), Weight(proc));
+    }
+    return;
+  }
+  int32_t client = ClientOf(proc);
+  pid_client_[proc.pid()] = client;
+  if (weighted_.insert(client).second) {
+    stride_.SetWeight(client, Weight(proc));
+  }
+}
+
+double StrideEngine::MinActivePass() {
+  if (active_.empty()) {
+    return 0;
+  }
+  return stride_.MinPass(active_);
+}
+
+void StrideEngine::Attach(const StackContext& ctx) {
+  ctx_ = ctx;
+  Simulator::current().Spawn(Housekeep());
+}
+
+void StrideEngine::NoteActivity(int32_t client) {
+  last_activity_[client] = Simulator::current().Now();
+}
+
+Task<void> StrideEngine::Housekeep() {
+  // Periodically deactivate clients that stopped issuing I/O so the pass
+  // floor tracks the *contending* set, and wake admission waiters.
+  for (;;) {
+    co_await Delay(Msec(10));
+    Nanos now = Simulator::current().Now();
+    for (auto it = active_.begin(); it != active_.end();) {
+      int32_t client = *it;
+      auto qit = read_queues_.find(client);
+      bool has_reads = qit != read_queues_.end() && !qit->second.empty();
+      bool is_blocked = blocked_.count(client) > 0;
+      auto ait = last_activity_.find(client);
+      bool stale = ait == last_activity_.end() || now - ait->second > Msec(50);
+      if (!has_reads && !is_blocked && stale) {
+        it = active_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    pass_advanced_.NotifyAll();
+  }
+}
+
+Task<void> StrideEngine::AdmitWriteWork(Process& proc) {
+  Register(proc);
+  int32_t client = ClientOf(proc);
+  NoteActivity(client);
+  // (Re)activate: do not let idle periods bank credit.
+  if (active_.insert(client).second && !active_.empty()) {
+    stride_.SetPassAtLeast(client, MinActivePass());
+  }
+  blocked_.insert(client);
+  while (stride_.Pass(client) > MinActivePass() + config_.pass_slack) {
+    co_await pass_advanced_.Wait();
+  }
+  blocked_.erase(client);
+  NoteActivity(client);
+  // No charge here: costs accrue when the work this call caused reaches the
+  // device (ChargeCauses). Purely in-memory activity stays free.
+}
+
+void StrideEngine::Add(BlockRequestPtr req) {
+  if (req->submitter != nullptr) {
+    Register(*req->submitter);
+  }
+  if (req->is_write) {
+    // Below the journal: dispatch immediately, never reorder against
+    // ordering-critical writes.
+    write_fifo_.push_back(std::move(req));
+    return;
+  }
+  int32_t client = req->submitter != nullptr ? ClientOf(*req->submitter) : -1;
+  if (active_.insert(client).second) {
+    stride_.SetPassAtLeast(client, MinActivePass());
+  }
+  NoteActivity(client);
+  read_queues_[client].push_back(std::move(req));
+  ++queued_reads_;
+}
+
+BlockRequestPtr StrideEngine::Next() {
+  if (!write_fifo_.empty()) {
+    BlockRequestPtr req = std::move(write_fifo_.front());
+    write_fifo_.pop_front();
+    return req;
+  }
+  if (queued_reads_ == 0) {
+    // Nothing queued; maybe anticipate the last sync reader's next request.
+    if (last_read_client_ != -1 && anticipate_until_ != 0 &&
+        Simulator::current().Now() < anticipate_until_) {
+      return nullptr;
+    }
+    return nullptr;
+  }
+  // Slice stickiness + anticipation: keep serving the last sync reader
+  // while its pass is within `read_stickiness` of the minimum among
+  // waiting readers. If its queue is momentarily empty, idle briefly
+  // (anticipation) instead of seeking away — the same trade CFQ makes.
+  if (last_read_client_ != -1 && stride_.Known(last_read_client_)) {
+    double min_waiting = std::numeric_limits<double>::max();
+    for (const auto& [client, queue] : read_queues_) {
+      if (!queue.empty()) {
+        min_waiting = std::min(min_waiting, stride_.Pass(client));
+      }
+    }
+    bool sticky = stride_.Pass(last_read_client_) <=
+                  min_waiting + config_.read_stickiness;
+    if (sticky) {
+      auto it = read_queues_.find(last_read_client_);
+      if (it != read_queues_.end() && !it->second.empty()) {
+        BlockRequestPtr req = std::move(it->second.front());
+        it->second.pop_front();
+        --queued_reads_;
+        anticipate_until_ = 0;
+        ChargeCauses(*req);
+        return req;
+      }
+      Nanos now = Simulator::current().Now();
+      if (anticipate_until_ == 0) {
+        anticipate_until_ = now + config_.idle_window;
+      }
+      if (now < anticipate_until_) {
+        return nullptr;
+      }
+    }
+  }
+  anticipate_until_ = 0;
+  // Pick the non-empty read queue with minimum pass.
+  int32_t best = -1;
+  double best_pass = 0;
+  for (const auto& [client, queue] : read_queues_) {
+    if (queue.empty()) {
+      continue;
+    }
+    double pass = stride_.Pass(client);
+    if (best == -1 || pass < best_pass) {
+      best = client;
+      best_pass = pass;
+    }
+  }
+  if (best == -1) {
+    return nullptr;
+  }
+  auto& queue = read_queues_[best];
+  BlockRequestPtr req = std::move(queue.front());
+  queue.pop_front();
+  --queued_reads_;
+  last_read_client_ = req->is_sync ? best : -1;
+  anticipate_until_ = 0;
+  ChargeCauses(*req);
+  return req;
+}
+
+void StrideEngine::ChargeRaw(const CauseSet& causes, double amount) {
+  const auto& pids = causes.pids();
+  if (pids.empty()) {
+    return;
+  }
+  double share = amount / static_cast<double>(pids.size());
+  for (int32_t pid : pids) {
+    int32_t client = ClientOfPid(pid);
+    stride_.Charge(client, share);
+    active_.insert(client);
+    NoteActivity(client);
+  }
+  pass_advanced_.NotifyAll();
+}
+
+void StrideEngine::ChargeCauses(const BlockRequest& req) {
+  // Estimated device cost in normalized bytes (simple seek model): the
+  // estimated service time converted by the device's sequential bandwidth.
+  double cost = static_cast<double>(req.bytes);
+  if (ctx_.block != nullptr) {
+    DeviceRequest dreq{req.sector, req.bytes, req.is_write};
+    Nanos est = ctx_.block->device().EstimateCost(dreq);
+    cost = ToSeconds(est) * ctx_.block->device().sequential_bw();
+  }
+  ChargeRaw(req.causes, cost);
+}
+
+void StrideEngine::BufferDirty(Process& dirtier, Page& page, bool was_dirty) {
+  Register(dirtier);
+  if (was_dirty) {
+    return;  // overwrite of buffered data: no new device work
+  }
+  // Prompt charge for new write work; revised at block completion when the
+  // true cost (seeks, amplification) is known.
+  page.prelim_cost = kPageSize;
+  ChargeRaw(page.causes, kPageSize);
+}
+
+void StrideEngine::BufferFree(Page& page) {
+  if (page.prelim_cost > 0) {
+    ChargeRaw(page.causes, -page.prelim_cost);
+    page.prelim_cost = 0;
+  }
+}
+
+void StrideEngine::Complete(const BlockRequest& req) {
+  if (req.is_write) {
+    // Revise: true device cost minus what buffer-dirty already charged
+    // (nothing, when another budget engine owns the memory hooks).
+    double actual = static_cast<double>(req.bytes);
+    if (ctx_.block != nullptr) {
+      actual = ToSeconds(req.service_time) *
+               ctx_.block->device().sequential_bw();
+    }
+    ChargeRaw(req.causes, actual - (owns_prelim_ ? req.prelim_charged : 0));
+  }
+  pass_advanced_.NotifyAll();
+}
+
+Nanos StrideEngine::IdleHint() const {
+  if (anticipate_until_ == 0) {
+    return 0;
+  }
+  Nanos now = Simulator::current().Now();
+  return anticipate_until_ > now ? anticipate_until_ - now : 0;
+}
+
+void StrideEngine::OnIdleExpired() { anticipate_until_ = 0; }
+
+bool StrideEngine::Empty() const {
+  return write_fifo_.empty() && queued_reads_ == 0;
+}
+
+// ===========================================================================
+// TokenEngine
+// ===========================================================================
+
+void TokenEngine::Attach(const StackContext& ctx, ReadySink* sink) {
+  ctx_ = ctx;
+  sink_ = sink;
+  Simulator::current().Spawn(RefillLoop());
+}
+
+void TokenEngine::SetAccountLimit(int account, double bytes_per_sec) {
+  accounts_.SetLeafLimit(account, bytes_per_sec, config_.burst_seconds);
+}
+
+void TokenEngine::SetGroupLimit(int group, double bytes_per_sec) {
+  accounts_.SetGroupLimit(group, bytes_per_sec, config_.burst_seconds);
+}
+
+void TokenEngine::BindAccountToGroup(int account, int group) {
+  accounts_.BindLeafToGroup(account, group);
+}
+
+int TokenEngine::AccountOf(int32_t pid) const {
+  auto it = pid_account_.find(pid);
+  return it == pid_account_.end() ? -1 : it->second;
+}
+
+void TokenEngine::ChargeAccount(int account, double cost) {
+  accounts_.Charge(account, cost);
+}
+
+void TokenEngine::ChargeCauses(const CauseSet& causes, double cost) {
+  const auto& pids = causes.pids();
+  if (pids.empty()) {
+    return;
+  }
+  double share = cost / static_cast<double>(pids.size());
+  for (int32_t pid : pids) {
+    int account = AccountOf(pid);
+    if (account >= 0) {
+      ChargeAccount(account, share);
+    }
+  }
+}
+
+Task<void> TokenEngine::Throttle(Process& proc) {
+  pid_account_[proc.pid()] = proc.account();
+  // Unknown accounts are always admissible (unthrottled); a known leaf
+  // blocks while it — or its group budget — is in debt.
+  while (!accounts_.CanAdmit(proc.account())) {
+    co_await tokens_available_.Wait();
+  }
+}
+
+void TokenEngine::BufferDirty(Process& dirtier, Page& page, bool was_dirty) {
+  pid_account_[dirtier.pid()] = dirtier.account();
+  if (was_dirty) {
+    // Overwrite of buffered data: no new disk work (the key advantage over
+    // SCS for the "write-mem" workload — no charge at all).
+    return;
+  }
+  // Preliminary model: guess sequential vs random from the offset stream
+  // within the file. Delayed allocation means on-disk locations are
+  // unknown, so this is only a guess — revised later at the block level.
+  double cost = kPageSize;
+  auto [it, inserted] = last_index_.try_emplace(page.ino, page.index);
+  if (!inserted) {
+    uint64_t last = it->second;
+    if (page.index != last + 1 && page.index != last) {
+      cost += config_.seek_equivalent_bytes;
+    }
+    it->second = page.index;
+  }
+  page.prelim_cost = cost;
+  ChargeCauses(page.causes, cost);
+}
+
+void TokenEngine::BufferFree(Page& page) {
+  // Deleted before writeback: the guessed disk work will never happen.
+  if (page.prelim_cost > 0) {
+    ChargeCauses(page.causes, -page.prelim_cost);
+    page.prelim_cost = 0;
+  }
+}
+
+bool TokenEngine::AdmitOrHold(BlockRequestPtr& req) {
+  if (req->submitter != nullptr && !req->submitter->is_proxy()) {
+    pid_account_[req->submitter->pid()] = req->submitter->account();
+  }
+  if (!req->is_write) {
+    // Block-level reads are throttled if (and only if) the account is in
+    // debt. Cache hits never reach this point.
+    int account = -1;
+    for (int32_t pid : req->causes.pids()) {
+      int a = AccountOf(pid);
+      if (a >= 0) {
+        account = a;
+        break;
+      }
+    }
+    if (account >= 0 && !accounts_.CanAdmit(account)) {
+      held_reads_.push_back(std::move(req));
+      return false;
+    }
+  }
+  // Writes (ordering) and admissible reads go to the dispatch structure.
+  return true;
+}
+
+void TokenEngine::Complete(const BlockRequest& req) {
+  if (req.result != 0) {
+    // Failed request: no useful service was rendered, so don't bill the
+    // causes for amplification — refund any preliminary charge instead.
+    if (req.is_write && config_.revise_at_block_level &&
+        req.prelim_charged > 0) {
+      ChargeCauses(req.causes, -req.prelim_charged);
+    }
+    return;
+  }
+  // Block-level accounting: what did this I/O actually cost? Normalize the
+  // measured service time to sequential-equivalent bytes.
+  double actual = ToSeconds(req.service_time) *
+                  ctx_.block->device().sequential_bw();
+  if (req.is_write) {
+    if (config_.revise_at_block_level) {
+      // Revise: the preliminary model charged req.prelim_charged for these
+      // pages (journal writes carried no preliminary charge, so their full
+      // amplification lands here — this is how metadata-heavy workloads get
+      // billed, Figure 17).
+      double delta = actual - req.prelim_charged;
+      ChargeCauses(req.causes, delta);
+    }
+  } else {
+    ChargeCauses(req.causes, actual);
+  }
+}
+
+void TokenEngine::ReleaseHeldReads() {
+  for (auto it = held_reads_.begin(); it != held_reads_.end();) {
+    BlockRequestPtr& req = *it;
+    int account = -1;
+    for (int32_t pid : req->causes.pids()) {
+      int a = AccountOf(pid);
+      if (a >= 0) {
+        account = a;
+        break;
+      }
+    }
+    bool admit = account < 0 || accounts_.CanAdmit(account);
+    if (admit) {
+      sink_->EnqueueReady(std::move(req));
+      it = held_reads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Task<void> TokenEngine::RefillLoop() {
+  for (;;) {
+    co_await Delay(config_.refill_period);
+    Nanos now = Simulator::current().Now();
+    accounts_.RefillAll(now);
+    if (accounts_.AnyAdmittable()) {
+      size_t held_before = held_reads_.size();
+      ReleaseHeldReads();
+      if (held_reads_.size() != held_before && ctx_.block != nullptr) {
+        ctx_.block->KickDispatcher();
+      }
+      tokens_available_.NotifyAll();
+    }
+  }
+}
+
+double TokenEngine::account_balance(int account) const {
+  return accounts_.LeafBalance(account);
+}
+
+double TokenEngine::group_balance(int group) const {
+  return accounts_.GroupBalance(group);
+}
+
+// ===========================================================================
+// ScsEngine
+// ===========================================================================
+
+void ScsEngine::Attach(const StackContext& ctx) {
+  ctx_ = ctx;
+  Simulator::current().Spawn(RefillLoop());
+}
+
+void ScsEngine::SetAccountLimit(int account, double bytes_per_sec) {
+  accounts_.SetLeafLimit(account, bytes_per_sec, config_.burst_seconds);
+}
+
+void ScsEngine::SetGroupLimit(int group, double bytes_per_sec) {
+  accounts_.SetGroupLimit(group, bytes_per_sec, config_.burst_seconds);
+}
+
+void ScsEngine::BindAccountToGroup(int account, int group) {
+  accounts_.BindLeafToGroup(account, group);
+}
+
+double ScsEngine::account_balance(int account) const {
+  return accounts_.LeafBalance(account);
+}
+
+double ScsEngine::group_balance(int group) const {
+  return accounts_.GroupBalance(group);
+}
+
+Task<void> ScsEngine::AdmitAndCharge(Process& proc, double cost) {
+  if (!accounts_.HasLeaf(proc.account())) {
+    co_return;  // unthrottled
+  }
+  while (!accounts_.CanAdmit(proc.account())) {
+    co_await tokens_available_.Wait();
+  }
+  // Charge raw system-call bytes: SCS has no cache, journal, or layout
+  // knowledge with which to correct this estimate.
+  accounts_.Charge(proc.account(), cost);
+}
+
+Task<void> ScsEngine::ReadEntry(Process& proc, int64_t ino, uint64_t offset,
+                                uint64_t len) {
+  // SCS-Token logic runs on every read system call (its cost is why the
+  // paper measures split 2.3x faster for in-memory reads)...
+  co_await ctx_.cpu->Consume(config_.per_call_cpu);
+  if (config_.cache_hit_exemption) {
+    // ...but with the authors' file-system modification, reads fully
+    // served by the cache are not charged tokens.
+    bool all_cached = true;
+    uint64_t first = offset / kPageSize;
+    uint64_t last = len == 0 ? first : (offset + len - 1) / kPageSize;
+    for (uint64_t idx = first; idx <= last; ++idx) {
+      if (ctx_.cache->Find(ino, idx) == nullptr) {
+        all_cached = false;
+        break;
+      }
+    }
+    if (all_cached) {
+      co_return;
+    }
+  }
+  co_await AdmitAndCharge(proc, static_cast<double>(len));
+}
+
+Task<void> ScsEngine::RefillLoop() {
+  for (;;) {
+    co_await Delay(config_.refill_period);
+    Nanos now = Simulator::current().Now();
+    accounts_.RefillAll(now);
+    if (accounts_.AnyAdmittable()) {
+      tokens_available_.NotifyAll();
+    }
+  }
+}
+
+}  // namespace splitio

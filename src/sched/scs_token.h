@@ -12,79 +12,22 @@
 // Consequences reproduced here: random I/O is under-charged (isolation
 // failure, Figure 6) and in-memory I/O is over-charged (an 837x slowdown
 // for the write-mem workload, Figure 14).
+//
+// The mechanism lives in ScsEngine (src/sched/engines.h); this class is the
+// canonical spec point dispatch=fifo, budget=syscall-tokens (ScsTokenSpec).
+// ScsTokenConfig moved to src/sched/policy.h; the account-limit API is
+// inherited from ComposedScheduler.
 #ifndef SRC_SCHED_SCS_TOKEN_H_
 #define SRC_SCHED_SCS_TOKEN_H_
 
-#include <deque>
-#include <string>
-
-#include "src/core/scheduler.h"
-#include "src/sched/util.h"
-#include "src/tenant/hier_token.h"
+#include "src/sched/composed.h"
 
 namespace splitio {
 
-struct ScsTokenConfig {
-  Nanos refill_period = Msec(10);
-  double burst_seconds = 0.5;
-  double fsync_cost = 4096;  // flat charge per fsync call
-  // The paper notes Craciunas et al. had to modify the file system to tell
-  // SCS which reads are cache hits [19]; with the modification, hits are
-  // not charged (but the SCS logic still runs on every call — that cost is
-  // modeled by per_call_cpu). Set false for the unmodified variant.
-  bool cache_hit_exemption = true;
-  Nanos per_call_cpu = Usec(2);
-};
-
-class ScsTokenScheduler : public SplitScheduler {
+class ScsTokenScheduler : public ComposedScheduler {
  public:
   explicit ScsTokenScheduler(const ScsTokenConfig& config = ScsTokenConfig())
-      : config_(config) {}
-
-  std::string name() const override { return "scs-token"; }
-
-  void Attach(const StackContext& ctx) override;
-
-  void SetAccountLimit(int account, double bytes_per_sec);
-
-  // Hierarchical (multi-tenant) accounting: leaf charges draw from a
-  // cgroup-like group budget (src/tenant/hier_token). SCS charges raw
-  // syscall bytes, so group budgets inherit its mis-accounting — the
-  // multi-tenant bench shows this baseline failing where split-token holds.
-  void SetGroupLimit(int group, double bytes_per_sec);
-  void BindAccountToGroup(int account, int group);
-  const HierTokenAccounts& accounts() const { return accounts_; }
-
-  Task<void> OnReadEntry(Process& proc, int64_t ino, uint64_t offset,
-                         uint64_t len) override;
-  Task<void> OnWriteEntry(Process& proc, int64_t ino, uint64_t offset,
-                          uint64_t len) override;
-  Task<void> OnFsyncEntry(Process& proc, int64_t ino) override;
-  Task<void> OnMetaEntry(Process& proc, MetaOp op,
-                         const std::string& path) override;
-
-  // Pass-through block level.
-  void Add(BlockRequestPtr req) override {
-    ready_.push_back(std::move(req));
-  }
-  BlockRequestPtr Next() override {
-    if (ready_.empty()) {
-      return nullptr;
-    }
-    BlockRequestPtr req = std::move(ready_.front());
-    ready_.pop_front();
-    return req;
-  }
-  bool Empty() const override { return ready_.empty(); }
-
- private:
-  Task<void> AdmitAndCharge(Process& proc, double cost);
-  Task<void> RefillLoop();
-
-  ScsTokenConfig config_;
-  HierTokenAccounts accounts_;
-  std::deque<BlockRequestPtr> ready_;
-  Event tokens_available_;
+      : ComposedScheduler(ScsTokenSpec(config)) {}
 };
 
 }  // namespace splitio

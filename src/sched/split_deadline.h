@@ -15,92 +15,23 @@
 //    scheduler flushes dirty data only when no deadline is at risk. With
 //    the daemon left on (Split-Pdflush), write syscalls are throttled at a
 //    lower dirty cap instead.
+//
+// The mechanism lives in DeadlineEngine (src/sched/engines.h); this class
+// is the canonical spec point dispatch=deadline with the writeback axis
+// picked from config.own_writeback (SplitDeadlineSpec). SplitDeadlineConfig
+// moved to src/sched/policy.h.
 #ifndef SRC_SCHED_SPLIT_DEADLINE_H_
 #define SRC_SCHED_SPLIT_DEADLINE_H_
 
-#include <deque>
-#include <map>
-#include <set>
-#include <string>
-
-#include "src/core/scheduler.h"
+#include "src/sched/composed.h"
 
 namespace splitio {
 
-struct SplitDeadlineConfig {
-  Nanos default_read_deadline = Msec(100);
-  Nanos default_fsync_deadline = Msec(500);
-  // Issue an fsync directly only when flushing the file's remaining dirty
-  // data is estimated to occupy the device for at most this long; otherwise
-  // spread the cost via async writeback first. A cost (not byte) threshold:
-  // scattered dirty pages are far more expensive than their byte count
-  // suggests.
-  Nanos fsync_direct_cost = Msec(25);
-  // Scheduler-owned writeback (requires cache writeback_daemon = false).
-  bool own_writeback = false;
-  Nanos own_writeback_period = Msec(25);
-  uint64_t own_writeback_batch_pages = 512;
-  // Split-Pdflush mode: throttle write syscalls once dirty data exceeds
-  // the cache's background-writeback limit by this margin — pdflush still
-  // runs, but the ammunition it can dump at once is bounded.
-  uint64_t pdflush_dirty_margin_bytes = 32ULL << 20;
-  int fifo_batch = 16;
-  int writes_starved = 2;
-};
-
-class SplitDeadlineScheduler : public SplitScheduler {
+class SplitDeadlineScheduler : public ComposedScheduler {
  public:
   explicit SplitDeadlineScheduler(
       const SplitDeadlineConfig& config = SplitDeadlineConfig())
-      : config_(config) {}
-
-  std::string name() const override { return "split-deadline"; }
-
-  void Attach(const StackContext& ctx) override;
-
-  // ---- System-call hooks ----
-  Task<void> OnWriteEntry(Process& proc, int64_t ino, uint64_t offset,
-                          uint64_t len) override;
-  Task<void> OnFsyncEntry(Process& proc, int64_t ino) override;
-  void OnFsyncExit(Process& proc, int64_t ino) override;
-
-  // ---- Block hooks ----
-  void Add(BlockRequestPtr req) override;
-  BlockRequestPtr Next() override;
-  bool Empty() const override { return pending_ == 0; }
-
- private:
-  // Estimated device time to flush the file's dirty data (seek-aware).
-  Nanos EstimateFsyncCost(int64_t ino) const;
-
-  BlockRequestPtr PopSorted(bool write, uint64_t from);
-  BlockRequestPtr PopReadFifo();
-  bool ReadFifoExpired() const;
-  // Marks `req` dispatched and updates the counters/elevator position.
-  BlockRequestPtr Finish(bool write, BlockRequestPtr req);
-  Task<void> OwnWritebackLoop();
-  bool DeadlinePressure() const;
-
-  SplitDeadlineConfig config_;
-
-  // Block level: read FIFO (expiry order) + sorted read/write queues, plus
-  // an urgent FIFO for writes an expiring fsync depends on (journal commits
-  // and the fsync's own data flush).
-  std::deque<BlockRequestPtr> urgent_fifo_;
-  std::deque<BlockRequestPtr> read_fifo_;
-  std::multimap<uint64_t, BlockRequestPtr> sorted_[2];  // [0]=read, [1]=write
-  int pending_ = 0;
-  int count_[2] = {0, 0};
-  bool dir_write_ = false;
-  int batch_remaining_ = 0;
-  int starved_ = 0;
-  uint64_t next_sector_ = 0;
-
-  // Fsync admission: pending fsync deadlines, earliest first; admitted but
-  // not-yet-finished fsyncs are tracked to detect deadline pressure.
-  std::multiset<Nanos> fsync_deadlines_;
-  std::multiset<Nanos> fsync_outstanding_;
-  Event fsync_turn_;
+      : ComposedScheduler(SplitDeadlineSpec(config)) {}
 };
 
 }  // namespace splitio

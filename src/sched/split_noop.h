@@ -2,45 +2,19 @@
 // all I/O dispatched FIFO, all hooks accounted but ignored. Used to measure
 // the overhead of the framework itself (Figure 9) against a no-op
 // block-level elevator.
+//
+// Canonical spec point tag=count, dispatch=fifo (SplitNoopSpec); the
+// dirty_events() probe is ComposedScheduler's tag-rule counter.
 #ifndef SRC_SCHED_SPLIT_NOOP_H_
 #define SRC_SCHED_SPLIT_NOOP_H_
 
-#include <deque>
-#include <string>
-
-#include "src/core/scheduler.h"
+#include "src/sched/composed.h"
 
 namespace splitio {
 
-class SplitNoopScheduler : public SplitScheduler {
+class SplitNoopScheduler : public ComposedScheduler {
  public:
-  std::string name() const override { return "split-noop"; }
-
-  void Add(BlockRequestPtr req) override { ready_.push_back(std::move(req)); }
-
-  BlockRequestPtr Next() override {
-    if (ready_.empty()) {
-      return nullptr;
-    }
-    BlockRequestPtr req = std::move(ready_.front());
-    ready_.pop_front();
-    return req;
-  }
-
-  bool Empty() const override { return ready_.empty(); }
-
-  // Hooks fire (exercising the tagging machinery) but change nothing.
-  void OnBufferDirty(Process& dirtier, Page& page, bool was_dirty,
-                     const CauseSet& prev) override {
-    (void)dirtier, (void)page, (void)was_dirty, (void)prev;
-    ++dirty_events_;
-  }
-
-  uint64_t dirty_events() const { return dirty_events_; }
-
- private:
-  std::deque<BlockRequestPtr> ready_;
-  uint64_t dirty_events_ = 0;
+  SplitNoopScheduler() : ComposedScheduler(SplitNoopSpec()) {}
 };
 
 }  // namespace splitio

@@ -16,94 +16,24 @@
 //  - block-level reads — below the cache, so cache hits are never taxed.
 // Block-level writes are never throttled (ordering), and system-call reads
 // are never throttled (cache).
+//
+// The mechanism lives in TokenEngine (src/sched/engines.h); this class is
+// the canonical spec point tag=causes, dispatch=fifo, budget=hier-tokens
+// (SplitTokenSpec). SplitTokenConfig moved to src/sched/policy.h; the
+// account-limit API (SetAccountLimit, group budgets, balances) is inherited
+// from ComposedScheduler.
 #ifndef SRC_SCHED_SPLIT_TOKEN_H_
 #define SRC_SCHED_SPLIT_TOKEN_H_
 
-#include <deque>
-#include <string>
-#include <unordered_map>
-
-#include "src/core/scheduler.h"
-#include "src/sched/util.h"
-#include "src/tenant/hier_token.h"
+#include "src/sched/composed.h"
 
 namespace splitio {
 
-struct SplitTokenConfig {
-  Nanos refill_period = Msec(10);
-  // Burst capacity as seconds of rate.
-  double burst_seconds = 0.5;
-  // Normalized cost (bytes) of one seek-equivalent, preliminary model. The
-  // block-level model replaces this with measured service time.
-  double seek_equivalent_bytes = 512.0 * 1024;
-  // Disable the block-level revision pass (for the ablation bench).
-  bool revise_at_block_level = true;
-};
-
-class SplitTokenScheduler : public SplitScheduler {
+class SplitTokenScheduler : public ComposedScheduler {
  public:
   explicit SplitTokenScheduler(
       const SplitTokenConfig& config = SplitTokenConfig())
-      : config_(config) {}
-
-  std::string name() const override { return "split-token"; }
-
-  void Attach(const StackContext& ctx) override;
-
-  // Creates (or reconfigures) a rate-limited account (bytes/second of
-  // normalized I/O). Processes are bound via Process::set_account.
-  void SetAccountLimit(int account, double bytes_per_sec);
-
-  // ---- Hierarchical (multi-tenant) accounting, ISSUE 7 ----
-  // Group budgets are cgroup-like: a leaf account bound to a group draws
-  // from the group budget on every charge, and is throttled when either
-  // its own bucket or the group budget is in debt (src/tenant/hier_token).
-  void SetGroupLimit(int group, double bytes_per_sec);
-  void BindAccountToGroup(int account, int group);
-
-  // ---- System-call hooks: throttle the write path ----
-  Task<void> OnWriteEntry(Process& proc, int64_t ino, uint64_t offset,
-                          uint64_t len) override;
-  Task<void> OnFsyncEntry(Process& proc, int64_t ino) override;
-  Task<void> OnMetaEntry(Process& proc, MetaOp op,
-                         const std::string& path) override;
-
-  // ---- Memory hooks: preliminary accounting ----
-  void OnBufferDirty(Process& dirtier, Page& page, bool was_dirty,
-                     const CauseSet& prev) override;
-  void OnBufferFree(Page& page) override;
-
-  // ---- Block hooks: read throttling + accounting revision ----
-  void Add(BlockRequestPtr req) override;
-  BlockRequestPtr Next() override;
-  void OnComplete(const BlockRequest& req) override;
-  bool Empty() const override;
-
-  double account_balance(int account) const;
-  double group_balance(int group) const;
-  // Token-debt introspection for admission control and the conservation
-  // tests; const access only.
-  const HierTokenAccounts& accounts() const { return accounts_; }
-  HierTokenAccounts& mutable_accounts() { return accounts_; }
-
- private:
-  int AccountOf(int32_t pid) const;
-  void ChargeAccount(int account, double cost);
-  // Splits `cost` across the accounts of `causes`.
-  void ChargeCauses(const CauseSet& causes, double cost);
-  Task<void> ThrottleAccount(Process& proc);
-  Task<void> RefillLoop();
-  void ReleaseHeldReads();
-
-  SplitTokenConfig config_;
-  HierTokenAccounts accounts_;
-  // pid -> account binding, learned from Process objects seen at hooks.
-  std::unordered_map<int32_t, int> pid_account_;
-  // Last dirtied page index per inode (sequentiality guess).
-  std::unordered_map<int64_t, uint64_t> last_index_;
-  std::deque<BlockRequestPtr> ready_;
-  std::deque<BlockRequestPtr> held_reads_;
-  Event tokens_available_;
+      : ComposedScheduler(SplitTokenSpec(config)) {}
 };
 
 }  // namespace splitio

@@ -28,6 +28,7 @@ constexpr uint64_t kDropCompletionInterval = 3;
 struct RunState {
   std::vector<int64_t> file_inos;    // by file index, set before workers run
   std::vector<int64_t> op_results;   // aligned with program.ops
+  std::vector<Nanos> op_latency;     // aligned with program.ops
   int procs_remaining = 0;
   Event procs_done;
   bool all_done = false;
@@ -50,6 +51,7 @@ Task<void> RunProcOps(StorageStack* stack, Process* proc, int proc_index,
     }
     int64_t ino = state->file_inos[static_cast<size_t>(op.file)];
     int64_t result = 0;
+    Nanos issued_at = Simulator::current().Now();
     switch (op.kind) {
       case StressOpKind::kWrite:
         result = co_await kernel.Write(*proc, ino, op.offset, op.len);
@@ -69,6 +71,7 @@ Task<void> RunProcOps(StorageStack* stack, Process* proc, int proc_index,
         break;
     }
     state->op_results[i] = result;
+    state->op_latency[i] = Simulator::current().Now() - issued_at;
   }
   if (--state->procs_remaining == 0) {
     state->procs_done.NotifyAll();
@@ -148,12 +151,18 @@ ExecResult ExecuteScenario(const Scenario& scenario,
   if (st.control == NegativeControl::kSkipPreflush) {
     config.journal.buggy_skip_preflush = true;
   }
+  if (st.use_spec && st.spec.writeback == WritebackKind::kSchedOwned) {
+    // Scheduler-owned writeback: the composed scheduler's own loop flushes
+    // dirty data; the kernel daemon must stand down (same contract as the
+    // split-deadline own-writeback benches).
+    config.cache.writeback_daemon = false;
+  }
 
   SchedInstance inst;
   if (st.control == NegativeControl::kMisorderedElevator) {
     inst.legacy = std::make_unique<MisorderedElevator>();
   } else {
-    inst = MakeSched(st.sched);
+    inst = st.use_spec ? MakeSched(st.spec) : MakeSched(st.sched);
   }
   StorageStack stack(config, &cpu, std::move(inst.split),
                      std::move(inst.legacy));
@@ -209,6 +218,7 @@ ExecResult ExecuteScenario(const Scenario& scenario,
 
   RunState state;
   state.op_results.assign(program.ops.size(), kOpNotRun);
+  state.op_latency.assign(program.ops.size(), 0);
 
   if (monitor && options.crash_points > 0) {
     // Random crash points over the middle and tail of the run (the head is
@@ -234,6 +244,7 @@ ExecResult ExecuteScenario(const Scenario& scenario,
   result.all_ops_completed = state.all_done;
   result.ops_done_at = state.done_at;
   result.op_results = std::move(state.op_results);
+  result.op_latency = std::move(state.op_latency);
   result.file_sizes.assign(static_cast<size_t>(program.num_files), 0);
   for (size_t f = 0; f < state.file_inos.size(); ++f) {
     if (state.file_inos[f] >= 0) {

@@ -37,6 +37,10 @@ struct ExecResult {
   bool all_ops_completed = false;   // program ops + final fsync pass
   Nanos ops_done_at = 0;            // 0 when !all_ops_completed
   std::vector<int64_t> op_results;  // aligned with program.ops
+  // Service time per op (syscall entry to return, think delay excluded),
+  // aligned with program.ops; 0 for ops that never ran. Cost-model input
+  // for tools/sched_search (not part of any oracle fingerprint).
+  std::vector<Nanos> op_latency;
   std::vector<uint64_t> file_sizes; // final size per file index
 
   // --- Block/device fingerprint (the schedule fingerprint) ---

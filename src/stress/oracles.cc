@@ -218,15 +218,20 @@ std::vector<OracleFailure> EvaluateScenario(const Scenario& scenario,
   if (options.run_content_differential &&
       !scenario.stack.transient_faults &&
       scenario.stack.control == NegativeControl::kNone) {
+    const char* base_name = scenario.stack.use_spec
+                                ? scenario.stack.spec.name.c_str()
+                                : SchedName(scenario.stack.sched);
     for (SchedKind kind : kAllSchedKinds) {
-      if (kind == scenario.stack.sched) {
+      if (!scenario.stack.use_spec && kind == scenario.stack.sched) {
         continue;  // the base run already covers it
       }
       Scenario variant = scenario;
+      // Variants always run the canonical kinds: a spec-based base run is
+      // differentially checked against all eight of them.
+      variant.stack.use_spec = false;
       variant.stack.sched = kind;
       ExecResult other = ExecuteScenario(variant, variant_opts);
-      CompareContent(SchedName(scenario.stack.sched), base, SchedName(kind),
-                     other, &failures);
+      CompareContent(base_name, base, SchedName(kind), other, &failures);
     }
   }
   return failures;

@@ -30,8 +30,15 @@ OracleOptions ReducedOptions(const std::string& oracle,
 
 // Applies runner-level overrides to a generated scenario.
 void ApplyOverrides(const StressOptions& options, Scenario* scenario) {
-  if (options.pin_sched) {
+  if (options.pin_spec) {
+    scenario->stack.use_spec = true;
+    scenario->stack.spec = options.pinned_spec;
+  } else if (options.pin_sched) {
     scenario->stack.sched = options.pinned_sched;
+    // A kind pin overrides a generated random spec, not just the kind the
+    // spec would otherwise shadow.
+    scenario->stack.use_spec = false;
+    scenario->stack.spec = PolicySpec();
   }
   if (options.force_control != NegativeControl::kNone) {
     scenario->stack.control = options.force_control;
@@ -45,7 +52,7 @@ void ApplyOverrides(const StressOptions& options, Scenario* scenario) {
 }
 
 std::string DescribeStack(const StressStackConfig& st) {
-  std::string out = SchedName(st.sched);
+  std::string out = st.use_spec ? st.spec.name : std::string(SchedName(st.sched));
   out += "/";
   out += FsKindName(st.fs);
   out += "/";

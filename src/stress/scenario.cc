@@ -107,6 +107,12 @@ Scenario GenerateScenario(uint64_t seed, const GenOptions& options) {
       stack_rng.Below(4) == 0) {
     s.stack.crash = true;
   }
+  // Appended after the historical draws so seeds generate the same stack
+  // shape as before the policy-space refactor (only this extra axis is new).
+  if (options.allow_random_spec && stack_rng.Below(4) == 0) {
+    s.stack.use_spec = true;
+    s.stack.spec = RandomPolicySpec(stack_rng);
+  }
 
   // --- Program ---
   WorkloadProgram& p = s.program;
@@ -197,7 +203,12 @@ std::string ScenarioToJson(const Scenario& scenario) {
   out += st.crash ? "true" : "false";
   out += ",\"control\":\"";
   out += NegativeControlName(st.control);
-  out += "\"},\"program\":";
+  out += "\"";
+  if (st.use_spec) {
+    out += ",\"spec\":";
+    out += PolicySpecToJson(st.spec);
+  }
+  out += "},\"program\":";
   out += ProgramToJson(scenario.program);
   out += "}";
   return out;
@@ -227,8 +238,18 @@ bool ParseStackObject(Cursor& c, StressStackConfig* out) {
     }
     bool ok = true;
     if (key == "sched") {
+      jsonmini::SkipWs(c);
+      size_t token_offset = c.Offset();
       std::string name;
-      ok = ParseString(c, &name) && SchedKindFromName(name.c_str(), &out->sched);
+      ok = ParseString(c, &name);
+      if (ok && !SchedKindFromName(name.c_str(), &out->sched)) {
+        // Same error contract as the trace parsers: name the offending
+        // token and where it sits — never fall back silently.
+        ok = c.FailAt(token_offset, UnknownSchedMessage(name));
+      }
+    } else if (key == "spec") {
+      ok = ParsePolicySpec(c, &out->spec);
+      out->use_spec = ok;
     } else if (key == "fs") {
       std::string name;
       ok = ParseString(c, &name) && FsKindFromName(name, &out->fs);

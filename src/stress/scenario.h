@@ -55,6 +55,12 @@ struct StressStackConfig {
   // systems only (ext4 / xfs).
   bool crash = false;
   NegativeControl control = NegativeControl::kNone;
+  // Composed-scheduler differential axis: when set, the stack runs
+  // MakeSched(spec) instead of MakeSched(sched) (the `sched` kind is still
+  // generated and serialized so variant/differential machinery keeps a
+  // canonical reference point).
+  bool use_spec = false;
+  PolicySpec spec;
 
   bool operator==(const StressStackConfig&) const = default;
 };
@@ -79,6 +85,10 @@ struct GenOptions {
   bool allow_faults = true;
   bool allow_crash = true;
   bool allow_mq = true;
+  // Sometimes replace the drawn SchedKind with a random PolicySpec
+  // (RandomPolicySpec), exercising ComposedScheduler compositions no
+  // hand-written class covers.
+  bool allow_random_spec = true;
 };
 
 // Deterministic: the same (seed, options) always yields the same scenario.

@@ -80,6 +80,12 @@ void ShrinkConfigAxes(Shrinker& shrinker, Scenario* current) {
           [](Scenario* s) { s->stack.fs = StackConfig::FsKind::kExt4; });
   TryAxis(shrinker, current,
           [](Scenario* s) { s->stack.device = StackConfig::DeviceKind::kHdd; });
+  // Composed-spec axis first (fall back to the canonical kind), then the
+  // kind itself.
+  TryAxis(shrinker, current, [](Scenario* s) {
+    s->stack.use_spec = false;
+    s->stack.spec = PolicySpec();
+  });
   TryAxis(shrinker, current, [](Scenario* s) { s->stack.sched = SchedKind::kNoop; });
   TryAxis(shrinker, current, [](Scenario* s) {
     std::fill(s->program.priorities.begin(), s->program.priorities.end(), 0);

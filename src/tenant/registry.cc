@@ -2,8 +2,7 @@
 
 #include <cmath>
 
-#include "src/sched/scs_token.h"
-#include "src/sched/split_token.h"
+#include "src/sched/composed.h"
 
 namespace splitio {
 
@@ -65,40 +64,27 @@ void TenantRegistry::Setup() {
 }
 
 void TenantRegistry::ConfigureScheduler() {
-  auto* split = dynamic_cast<SplitTokenScheduler*>(stack_->scheduler());
-  auto* scs = dynamic_cast<ScsTokenScheduler*>(stack_->scheduler());
-  if (split == nullptr && scs == nullptr) {
+  // Any composed policy with a token budget (split-token, scs-token, or a
+  // hybrid like deadline-token) takes the hierarchical limits; others run
+  // unthrottled.
+  auto* sched = dynamic_cast<ComposedScheduler*>(stack_->scheduler());
+  if (sched == nullptr || !sched->has_token_budget()) {
     return;
   }
   for (const TenantClass& cls : config_.classes) {
     if (cls.group >= 0 && cls.group_rate_bps > 0) {
-      if (split != nullptr) {
-        split->SetGroupLimit(cls.group, cls.group_rate_bps);
-      }
-      if (scs != nullptr) {
-        scs->SetGroupLimit(cls.group, cls.group_rate_bps);
-      }
+      sched->SetGroupLimit(cls.group, cls.group_rate_bps);
     }
   }
   for (const auto& t : tenants_) {
     const TenantClass& cls = *t->cls;
     if (cls.leaf_rate_bps > 0) {
-      if (split != nullptr) {
-        split->SetAccountLimit(t->id, cls.leaf_rate_bps);
-      }
-      if (scs != nullptr) {
-        scs->SetAccountLimit(t->id, cls.leaf_rate_bps);
-      }
+      sched->SetAccountLimit(t->id, cls.leaf_rate_bps);
     }
     // Bind throttled leaves — and, when the group itself carries a budget,
     // unthrottled ones too, so the group draw covers the whole class.
     if (cls.group >= 0 && (cls.leaf_rate_bps > 0 || cls.group_rate_bps > 0)) {
-      if (split != nullptr) {
-        split->BindAccountToGroup(t->id, cls.group);
-      }
-      if (scs != nullptr) {
-        scs->BindAccountToGroup(t->id, cls.group);
-      }
+      sched->BindAccountToGroup(t->id, cls.group);
     }
   }
 }

@@ -34,10 +34,14 @@ struct Cursor {
   const char* p = nullptr;
   const char* end = nullptr;
   // First failure recorded by a parse primitive; later failures (e.g. a
-  // caller unwinding) keep the innermost, most precise position.
+  // caller unwinding) keep the innermost, most precise position. The
+  // message is either a static string (err_message) or an owned one built
+  // at failure time (err_owned, used when the message names the offending
+  // token) — err_message == nullptr selects the owned string.
   bool failed = false;
   size_t err_offset = 0;
   const char* err_message = "";
+  std::string err_owned;
 
   explicit Cursor(const std::string& s)
       : begin(s.data()), p(s.data()), end(s.data() + s.size()) {}
@@ -57,6 +61,18 @@ struct Cursor {
     return false;
   }
 
+  // Like Fail, but with an explicit position (e.g. the start of the token
+  // that did not parse) and a built message naming the token.
+  bool FailAt(size_t offset, std::string message) {
+    if (!failed) {
+      failed = true;
+      err_offset = offset;
+      err_message = nullptr;
+      err_owned = std::move(message);
+    }
+    return false;
+  }
+
   // Fills `out` (if non-null) from the recorded failure, falling back to
   // the current position when no primitive recorded one.
   void ReportError(ParseError* out, const char* fallback) const {
@@ -64,7 +80,11 @@ struct Cursor {
       return;
     }
     out->offset = failed ? err_offset : Offset();
-    out->message = failed ? err_message : fallback;
+    if (!failed) {
+      out->message = fallback;
+    } else {
+      out->message = err_message != nullptr ? err_message : err_owned;
+    }
   }
 };
 

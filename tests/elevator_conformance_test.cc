@@ -27,6 +27,7 @@
 #include "src/block/block_deadline.h"
 #include "src/block/cfq.h"
 #include "src/block/noop.h"
+#include "src/core/sched_factory.h"
 #include "src/core/storage_stack.h"
 #include "src/sched/afq.h"
 #include "src/sched/scs_token.h"
@@ -47,7 +48,10 @@ enum class Sched {
   kAfq,
   kSplitDeadline,
   kSplitToken,
-  kScsToken
+  kScsToken,
+  // Hybrid policy specs (no hand-written class — composed only).
+  kDeadlineToken,
+  kTenantAfq
 };
 
 const char* SchedLabel(Sched s) {
@@ -60,6 +64,8 @@ const char* SchedLabel(Sched s) {
     case Sched::kSplitDeadline: return "splitdeadline";
     case Sched::kSplitToken: return "splittoken";
     case Sched::kScsToken: return "scstoken";
+    case Sched::kDeadlineToken: return "deadlinetoken";
+    case Sched::kTenantAfq: return "tenantafq";
   }
   return "?";
 }
@@ -101,6 +107,15 @@ struct ConformanceStack {
       case Sched::kScsToken:
         split = std::make_unique<ScsTokenScheduler>();
         break;
+      case Sched::kDeadlineToken:
+      case Sched::kTenantAfq: {
+        PolicySpec spec;
+        EXPECT_TRUE(NamedPolicySpec(
+            sched == Sched::kDeadlineToken ? "deadline-token" : "tenant-afq",
+            &spec));
+        split = MakeSched(spec).split;
+        break;
+      }
     }
     stack = std::make_unique<StorageStack>(config, cpu.get(), std::move(split),
                                            std::move(legacy));
@@ -237,7 +252,8 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(Sched::kNoop, Sched::kCfq, Sched::kBlockDeadline,
                           Sched::kSplitNoop, Sched::kAfq,
                           Sched::kSplitDeadline, Sched::kSplitToken,
-                          Sched::kScsToken),
+                          Sched::kScsToken, Sched::kDeadlineToken,
+                          Sched::kTenantAfq),
         ::testing::Bool()),
     [](const ::testing::TestParamInfo<std::tuple<Sched, bool>>& param_info) {
       return std::string(SchedLabel(std::get<0>(param_info.param))) +
@@ -280,7 +296,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllSchedulers, MqDepthOneEquivalence,
     ::testing::Values(Sched::kNoop, Sched::kCfq, Sched::kBlockDeadline,
                       Sched::kSplitNoop, Sched::kAfq, Sched::kSplitDeadline,
-                      Sched::kSplitToken, Sched::kScsToken),
+                      Sched::kSplitToken, Sched::kScsToken,
+                      Sched::kDeadlineToken, Sched::kTenantAfq),
     [](const ::testing::TestParamInfo<Sched>& param_info) {
       return SchedLabel(param_info.param);
     });

@@ -24,6 +24,8 @@
 #include <string>
 #include <thread>
 
+#include "src/core/sched_factory.h"
+#include "src/sched/policy.h"
 #include "src/stress/runner.h"
 
 namespace {
@@ -117,12 +119,21 @@ int main(int argc, char** argv) {
         return Usage();
       }
     } else if (arg == "--sched") {
+      // Canonical kind ("split-deadline") or any registered PolicySpec name
+      // ("deadline-token"); both pin every generated scenario's scheduler.
       const char* val = next();
-      if (val == nullptr ||
-          !splitio::SchedKindFromName(val, &options.pinned_sched)) {
+      if (val == nullptr) {
         return Usage();
       }
-      options.pin_sched = true;
+      if (splitio::SchedKindFromName(val, &options.pinned_sched)) {
+        options.pin_sched = true;
+      } else if (splitio::NamedPolicySpec(val, &options.pinned_spec)) {
+        options.pin_spec = true;
+      } else {
+        std::fprintf(stderr, "stress_runner: %s\n",
+                     splitio::UnknownSchedMessage(val).c_str());
+        return 2;
+      }
     } else if (arg == "--max-ops") {
       const char* val = next();
       if (val == nullptr || !ParseLong(val, &v) || v < 1) {
