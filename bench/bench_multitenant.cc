@@ -13,7 +13,12 @@
 // 10^3 tenants.
 //
 // Columns: per-tier op counts, gold p99.9 / worst tail, SLO-violating
-// tenant counts, and admission-control delay/reject accounting.
+// tenant counts, windowed gold burn-rate alerts (1 s windows; a window
+// alerts when > 5% of its completions breach the p99.9 target — see
+// BurnRateTracker), and admission-control delay/reject accounting.
+// `burn@s` is the start of the earliest alerting window in seconds
+// (-1: never alerted) — the "when did it go wrong" timestamp a latency
+// percentile cannot give.
 //
 // Tenant count: --tenants N (or SPLITIO_MT_TENANTS). The self-check —
 // split-token holds gold's p99.9 where CFQ breaks it — runs at >= 500
@@ -51,17 +56,28 @@ CloudBackendResult RunOneSpec(const std::string& spec_name, bool mq,
   return RunCloudBackend(p);
 }
 
+double FirstBurnSec(const CloudGroupOutcome* g) {
+  if (g == nullptr || g->first_burn_alert < 0) {
+    return -1.0;
+  }
+  return static_cast<double>(g->first_burn_alert) / 1e9;
+}
+
 void PrintRow(const char* name, bool mq, const CloudBackendResult& r) {
   const CloudGroupOutcome* gold = r.Group("gold");
   const CloudGroupOutcome* silver = r.Group("silver");
   const CloudGroupOutcome* bronze = r.Group("bronze");
-  std::printf("%-15s %-7s %8llu %10.1f %10.1f %5llu %10.1f %8llu %8llu %8llu\n",
+  std::printf("%-15s %-7s %8llu %10.1f %10.1f %5llu %5llu %7.2f %10.1f %8llu"
+              " %8llu %8llu\n",
               name, mq ? "mq" : "legacy",
               static_cast<unsigned long long>(gold != nullptr ? gold->ops : 0),
               gold != nullptr ? Ms(gold->p999) : 0.0,
               gold != nullptr ? Ms(gold->max) : 0.0,
               static_cast<unsigned long long>(
                   gold != nullptr ? gold->violating_tenants : 0),
+              static_cast<unsigned long long>(
+                  gold != nullptr ? gold->burn_alert_windows : 0),
+              FirstBurnSec(gold),
               silver != nullptr ? Ms(silver->p999) : 0.0,
               static_cast<unsigned long long>(bronze != nullptr ? bronze->ops
                                                                 : 0),
@@ -80,6 +96,11 @@ void ReportRun(const char* name, bool mq, const CloudBackendResult& r) {
   ReportMetric(key + "_ops", static_cast<double>(r.total_ops));
   ReportMetric(key + "_adm_delayed",
                static_cast<double>(r.admission_delayed));
+  ReportMetric(key + "_gold_burn",
+               gold != nullptr
+                   ? static_cast<double>(gold->burn_alert_windows)
+                   : 0.0);
+  ReportMetric(key + "_gold_first_burn_s", FirstBurnSec(gold));
 }
 
 }  // namespace
@@ -103,12 +124,14 @@ int main(int argc, char** argv) {
   PrintTitle("Multi-tenant cloud backend: " + std::to_string(tenants) +
              " tenants (20% gold OLTP / 30% silver scan / 50% bronze batch), "
              "gold SLO p99.9 <= 750 ms");
-  std::printf("%-15s %-7s %8s %10s %10s %5s %10s %8s %8s %8s\n", "sched",
-              "queue", "gold-ops", "gold-p999", "gold-max", "viol",
-              "silv-p999", "brz-ops", "delayed", "rejected");
+  std::printf("%-15s %-7s %8s %10s %10s %5s %5s %7s %10s %8s %8s %8s\n",
+              "sched", "queue", "gold-ops", "gold-p999", "gold-max", "viol",
+              "burn", "burn@s", "silv-p999", "brz-ops", "delayed", "rejected");
 
   bool split_holds = false;
   bool cfq_breaks = false;
+  bool split_burn_clean = false;
+  bool cfq_burns = false;
   bool conservation_ok = true;
   for (bool mq : {false, true}) {
     for (SchedKind kind : kAllSchedKinds) {
@@ -122,12 +145,21 @@ int main(int argc, char** argv) {
       }
       const CloudGroupOutcome* gold = r.Group("gold");
       if (gold != nullptr) {
-        if (kind == SchedKind::kSplitToken && !mq &&
-            gold->violating_tenants == 0) {
-          split_holds = true;
+        if (kind == SchedKind::kSplitToken && !mq) {
+          if (gold->violating_tenants == 0) {
+            split_holds = true;
+          }
+          if (gold->burn_alert_windows == 0) {
+            split_burn_clean = true;
+          }
         }
-        if (kind == SchedKind::kCfq && !mq && gold->violating_tenants > 0) {
-          cfq_breaks = true;
+        if (kind == SchedKind::kCfq && !mq) {
+          if (gold->violating_tenants > 0) {
+            cfq_breaks = true;
+          }
+          if (gold->burn_alert_windows > 0) {
+            cfq_burns = true;
+          }
         }
       }
     }
@@ -166,11 +198,14 @@ int main(int argc, char** argv) {
   ReportMetric("mt_tenants", static_cast<double>(tenants));
   ReportMetric("mt_conservation_ok", conservation_ok ? 1.0 : 0.0);
   if (tenants >= 500) {
-    bool pass = split_holds && cfq_breaks && conservation_ok;
+    bool pass = split_holds && cfq_breaks && split_burn_clean && cfq_burns &&
+                conservation_ok;
     ReportMetric("mt_selfcheck", pass ? 1.0 : 0.0);
     std::printf("\nself-check (>=500 tenants): split-token holds gold p99.9"
-                " %s; CFQ violates %s; budgets conserved %s => %s\n",
+                " %s; CFQ violates %s; CFQ burn alerts %s; split-token burn"
+                " clean %s; budgets conserved %s => %s\n",
                 split_holds ? "yes" : "NO", cfq_breaks ? "yes" : "NO",
+                cfq_burns ? "yes" : "NO", split_burn_clean ? "yes" : "NO",
                 conservation_ok ? "yes" : "NO", pass ? "PASS" : "FAIL");
     if (!pass) {
       return 1;

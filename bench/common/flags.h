@@ -12,6 +12,14 @@
 // event stream. Tracing also appends per-layer / per-cause latency
 // percentiles to the BENCHJSON line. Without these flags no listener is
 // attached and the run is identical to an untraced one.
+//
+// `--metrics PATH` enables the telemetry plane (src/obs/metrics): gauges
+// across every layer are sampled on a simulated-time grid into ring-buffered
+// series, written to PATH as JSONL (readable by tools/metrics_report);
+// `--metrics-csv PATH` additionally writes the raw points as CSV and
+// `--metrics-period-ms N` changes the sampling grid (default 100 ms).
+// Sampling is passive — a metrics-on run keeps tables and counters
+// byte-identical to a metrics-off run (modulo `allocs`).
 #ifndef BENCH_COMMON_FLAGS_H_
 #define BENCH_COMMON_FLAGS_H_
 
@@ -20,6 +28,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/obs/metrics_global.h"
 #include "src/obs/trace_global.h"
 #include "src/sim/random.h"
 
@@ -28,6 +37,9 @@ namespace splitio {
 inline void ParseBenchFlags(int argc, char** argv) {
   std::string trace_path;
   std::string trace_events_path;
+  std::string metrics_path;
+  std::string metrics_csv_path;
+  Nanos metrics_period = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
@@ -42,10 +54,23 @@ inline void ParseBenchFlags(int argc, char** argv) {
       trace_events_path = argv[++i];
     } else if (std::strncmp(arg, "--trace-events=", 15) == 0) {
       trace_events_path = arg + 15;
+    } else if (std::strcmp(arg, "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      metrics_path = arg + 10;
+    } else if (std::strcmp(arg, "--metrics-csv") == 0 && i + 1 < argc) {
+      metrics_csv_path = argv[++i];
+    } else if (std::strncmp(arg, "--metrics-csv=", 14) == 0) {
+      metrics_csv_path = arg + 14;
+    } else if (std::strcmp(arg, "--metrics-period-ms") == 0 && i + 1 < argc) {
+      metrics_period = Msec(std::strtoll(argv[++i], nullptr, 0));
+    } else if (std::strncmp(arg, "--metrics-period-ms=", 20) == 0) {
+      metrics_period = Msec(std::strtoll(arg + 20, nullptr, 0));
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: %s [--seed N] [--trace SPANS.jsonl]"
-          " [--trace-events EVENTS.jsonl]\n",
+          " [--trace-events EVENTS.jsonl] [--metrics TIMELINES.jsonl]"
+          " [--metrics-csv POINTS.csv] [--metrics-period-ms N]\n",
           argv[0]);
       std::exit(0);
     }
@@ -53,6 +78,9 @@ inline void ParseBenchFlags(int argc, char** argv) {
   }
   if (!trace_path.empty() || !trace_events_path.empty()) {
     obs::EnableGlobalTrace(trace_path, trace_events_path);
+  }
+  if (!metrics_path.empty() || !metrics_csv_path.empty()) {
+    obs::EnableGlobalMetrics(metrics_path, metrics_csv_path, metrics_period);
   }
 }
 

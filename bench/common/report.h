@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/metrics/counters.h"
+#include "src/obs/metrics_global.h"
 #include "src/obs/trace_global.h"
 #include "src/sim/random.h"
 
@@ -48,12 +49,12 @@ inline void PrintCountersObject(const Counters& c) {
       "\"block_completed\":%llu,\"device_flushes\":%llu,"
       "\"faults_injected\":%llu,\"wb_errors\":%llu,"
       "\"journal_commits\":%llu,\"wb_pages_flushed\":%llu,"
-      "\"mq_kicks\":%llu,\"allocs\":%llu}",
+      "\"mq_kicks\":%llu,\"device_busy_ns\":%llu,\"allocs\":%llu}",
       u(c.sim_events), u(c.sim_immediate), u(c.cache_lookups), u(c.cache_hits),
       u(c.pages_dirtied), u(c.block_submitted), u(c.block_merged),
       u(c.block_completed), u(c.device_flushes), u(c.faults_injected),
       u(c.wb_errors), u(c.journal_commits), u(c.wb_pages_flushed),
-      u(c.mq_kicks), u(c.allocs));
+      u(c.mq_kicks), u(c.device_busy_ns), u(c.allocs));
 }
 
 inline void PrintJsonLine() {
@@ -62,6 +63,11 @@ inline void PrintJsonLine() {
   // percentile metrics. A tracing-off run appends nothing here, keeping the
   // line deterministic.
   for (auto& metric : obs::FinalizeGlobalTrace()) {
+    Metrics().push_back(std::move(metric));
+  }
+  // Same contract for --metrics: write the timeline files and append the
+  // bounded `timeline_*` summary; a metrics-off run appends nothing.
+  for (auto& metric : obs::FinalizeGlobalMetrics()) {
     Metrics().push_back(std::move(metric));
   }
   const Counters& c = counters();

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/sched/composed.h"
 #include "src/tenant/admission.h"
 
@@ -115,6 +116,13 @@ CloudBackendResult RunCloudBackend(const CloudBackendParams& params) {
   rcfg.classes = CloudTenantMix(params.tenants);
   rcfg.seed = params.seed;
   rcfg.until = params.duration;
+  rcfg.burn_window = params.burn_window;
+  rcfg.burn_budget = params.burn_budget;
+  rcfg.burn_alert_factor = params.burn_alert_factor;
+  rcfg.burn_min_violations = params.burn_min_violations;
+  // Drain-phase completions count too: gold commits stuck behind a bronze
+  // backlog at the horizon are exactly the burn the alert must see.
+  rcfg.burn_horizon = params.duration + params.drain;
   TenantRegistry registry(&stack, rcfg);
   registry.Setup();
   registry.ConfigureScheduler();
@@ -131,9 +139,37 @@ CloudBackendResult RunCloudBackend(const CloudBackendParams& params) {
     stack.kernel().set_admission(&admission);
   }
 
+  // Multi-tenant telemetry gauges: per-tier token-bucket fill and admission
+  // in-flight/delayed, alongside the stack-level gauges Start() registered.
+  obs::MetricsHub* hub = obs::ActiveMetricsHub();
+  if (hub != nullptr) {
+    if (token_budget) {
+      for (const TenantClass& cls : registry.classes()) {
+        if (cls.group >= 0 && cls.group_rate_bps > 0) {
+          int group = cls.group;
+          hub->AddGauge(&registry, "tok_" + cls.name, "bytes",
+                        [composed, group](Nanos) {
+                          return composed->accounts().GroupBalance(group);
+                        });
+        }
+      }
+    }
+    if (params.admission) {
+      hub->AddGauge(&registry, "adm_inflight", "ops", [&admission](Nanos) {
+        return static_cast<double>(admission.totals().inflight);
+      });
+      hub->AddGauge(&registry, "adm_delayed", "ops", [&admission](Nanos) {
+        return static_cast<double>(admission.totals().delayed);
+      });
+    }
+  }
+
   registry.SpawnAll(sim);
   sim.Run(params.duration + params.drain);
   registry.RecordCensored(params.duration + params.drain);
+  if (hub != nullptr) {
+    hub->RemoveOwner(&registry);
+  }
 
   CloudBackendResult result;
   result.total_ops = registry.total_ops();
@@ -164,6 +200,29 @@ CloudBackendResult RunCloudBackend(const CloudBackendParams& params) {
     out.p999 = report.p999;
     out.max = report.max;
     out.violating_tenants = report.violating_tenants;
+    if (const BurnRateTracker* burn = registry.burn(report.group)) {
+      BurnRateTracker::Report br = burn->Evaluate();
+      out.burn_windows = br.windows_with_ops;
+      out.burn_alert_windows = br.alert_windows;
+      out.first_burn_alert = br.first_alert;
+      out.worst_burn_fraction = br.worst_fraction;
+      if (hub != nullptr) {
+        obs::MetricsHub::AlertSummary alert;
+        alert.name = "burn_" + out.name;
+        alert.window = burn->config().window;
+        alert.target = burn->config().target;
+        alert.budget = burn->config().budget;
+        alert.windows = br.windows_with_ops;
+        alert.alert_windows = br.alert_windows;
+        alert.first_alert = br.first_alert;
+        alert.worst_fraction = br.worst_fraction;
+        alert.worst_window_start = br.worst_window_start;
+        hub->AddAlertSummary(std::move(alert));
+        hub->AddSampledSeries("burn_" + out.name, "frac",
+                              burn->config().window,
+                              burn->WindowFractions());
+      }
+    }
     result.groups.push_back(out);
   }
   return result;

@@ -48,6 +48,15 @@ struct CloudBackendParams {
   bool admission = true;
   bool admission_reject = false;  // reject with -EAGAIN instead of delaying
   int max_inflight_per_tenant = 4;
+
+  // Burn-rate alerting knobs, forwarded to TenantRegistryConfig. Defaults:
+  // 1 s windows over the full horizon (duration + drain), alert when a
+  // window's violating fraction exceeds budget * alert_factor (5% for a
+  // 99.9% objective) with at least `burn_min_violations` breaches.
+  Nanos burn_window = Sec(1);
+  double burn_budget = 0.001;
+  double burn_alert_factor = 50.0;
+  uint64_t burn_min_violations = 2;
 };
 
 // Per-tier roll-up of the SloTracker group report.
@@ -62,6 +71,13 @@ struct CloudGroupOutcome {
   Nanos max = 0;
   uint64_t violating_tenants = 0;
   Nanos slo_p999 = 0;  // the tier's objective (0 = none)
+
+  // Windowed burn-rate evaluation (zeros when the tier has no p99.9
+  // objective — no tracker exists then).
+  uint64_t burn_windows = 0;        // windows with >= 1 completion
+  uint64_t burn_alert_windows = 0;  // windows whose burn rate alerted
+  Nanos first_burn_alert = -1;      // start of earliest alerting window
+  double worst_burn_fraction = 0;   // worst per-window violating fraction
 };
 
 struct CloudBackendResult {

@@ -95,6 +95,8 @@ void BlockLayer::Submit(BlockRequestPtr req) {
       obs::EmitEvent(RequestEvent(obs::EventType::kElvAdd, *req));
     }
     elevator_->Add(std::move(req));
+    ++elv_queued_;
+    NoteQueued();
     submit_event_.NotifyAll();
     return;
   }
@@ -114,6 +116,8 @@ void BlockLayer::Submit(BlockRequestPtr req) {
     obs::EmitEvent(RequestEvent(obs::EventType::kMqQueue, *req));
   }
   it->second.fifo.emplace_back(submit_seq_++, std::move(req));
+  ++sw_staged_;
+  NoteQueued();
   ++counters().mq_kicks;
   hw_queues_[static_cast<size_t>(hw)]->kick.NotifyAll();
 }
@@ -179,6 +183,7 @@ Task<void> BlockLayer::DispatchLoop() {
       }
       continue;
     }
+    --elv_queued_;
     if (obs::TracingActive()) {
       obs::EmitEvent(RequestEvent(obs::EventType::kElvDispatch, *req));
     }
@@ -193,7 +198,9 @@ Task<void> BlockLayer::DispatchLoop() {
       } else {
         DeviceRequest dreq{req->sector, req->bytes, req->is_write,
                            req->request_id};
+        ++total_inflight_;  // keep inflight() meaningful on the legacy path
         DeviceResult res = co_await device_->Execute(dreq);
+        --total_inflight_;
         req->service_time = res.service;
         req->result = res.error;
         req->device_seq = res.write_seq;
@@ -225,6 +232,7 @@ void BlockLayer::DrainSwQueues(int hw) {
     }
     BlockRequestPtr req = std::move(best->fifo.front().second);
     best->fifo.pop_front();
+    --sw_staged_;
     if (elevator_->TryMerge(req)) {
       ++total_merged_;
       ++counters().block_merged;
@@ -237,6 +245,7 @@ void BlockLayer::DrainSwQueues(int hw) {
       obs::EmitEvent(RequestEvent(obs::EventType::kElvAdd, *req));
     }
     elevator_->Add(std::move(req));
+    ++elv_queued_;
   }
 }
 
@@ -286,6 +295,7 @@ Task<void> BlockLayer::MqDispatchLoop(int hw) {
       }
       continue;
     }
+    --elv_queued_;
     if (obs::TracingActive()) {
       obs::EmitEvent(RequestEvent(obs::EventType::kElvDispatch, *req));
     }

@@ -95,6 +95,14 @@ class BlockLayer {
   // Commands currently dispatched to the device across all contexts.
   int inflight() const { return total_inflight_; }
 
+  // Queue-depth telemetry (always on — plain integer bookkeeping): requests
+  // currently held in the elevator, requests staged in software queues, and
+  // the run-wide peak of their sum. Feeds the telemetry gauges
+  // (src/obs/metrics) and the peak-queue-depth cost axis in sched_search.
+  int elevator_queued() const { return elv_queued_; }
+  int sw_staged() const { return sw_staged_; }
+  int queue_peak() const { return queue_peak_; }
+
   // Number of requests submitted whose *submitter* had best-effort priority
   // p — what a block-level scheduler believes about request ownership.
   uint64_t submitted_by_priority(int p) const {
@@ -179,6 +187,17 @@ class BlockLayer {
   BlockFaultHook fault_hook_;
   uint64_t drop_completion_interval_ = 0;
   uint64_t finish_calls_ = 0;
+
+  // --- queue-depth telemetry ---
+  void NoteQueued() {
+    int depth = elv_queued_ + sw_staged_;
+    if (depth > queue_peak_) {
+      queue_peak_ = depth;
+    }
+  }
+  int elv_queued_ = 0;
+  int sw_staged_ = 0;
+  int queue_peak_ = 0;
 
   // --- mq state ---
   int effective_hw_queues_ = 1;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/obs/metrics.h"
+
 namespace splitio {
 
 StorageStack::StorageStack(const StackConfig& config, CpuModel* cpu,
@@ -82,6 +84,50 @@ void StorageStack::Start() {
     c->Mount();
   }
   fs_->StartWriteback();  // no-op if the daemon is disabled in cache config
+  RegisterGauges();
+}
+
+StorageStack::~StorageStack() {
+  if (obs::MetricsHub* hub = obs::ActiveMetricsHub()) {
+    hub->RemoveOwner(this);
+  }
+}
+
+void StorageStack::RegisterGauges() {
+  obs::MetricsHub* hub = obs::ActiveMetricsHub();
+  if (hub == nullptr) {
+    return;
+  }
+  hub->AddGauge(this, "elv_depth", "reqs", [this](Nanos) {
+    return static_cast<double>(block_->elevator_queued());
+  });
+  hub->AddGauge(this, "swq_depth", "reqs", [this](Nanos) {
+    return static_cast<double>(block_->sw_staged());
+  });
+  hub->AddGauge(this, "blk_inflight", "cmds", [this](Nanos) {
+    return static_cast<double>(block_->inflight());
+  });
+  hub->AddGauge(this, "dev_queue", "cmds", [this](Nanos) {
+    return static_cast<double>(device_->queued_outstanding());
+  });
+  hub->AddGauge(this, "dirty_pages", "pages", [this](Nanos) {
+    return static_cast<double>(cache_.dirty_pages());
+  });
+  // Busy time accrued over the last sampling interval, as a fraction of the
+  // interval. Parallel service channels (SSD) and NCQ overlap can push this
+  // above 1.0 — it is occupancy, not utilization, so it is not clamped.
+  hub->AddGauge(this, "dev_busy_frac", "frac",
+                [this, last_busy = Nanos(0), last_t = Nanos(0)](
+                    Nanos t) mutable {
+                  Nanos busy = device_->busy_time();
+                  double frac =
+                      t > last_t ? static_cast<double>(busy - last_busy) /
+                                       static_cast<double>(t - last_t)
+                                 : 0.0;
+                  last_busy = busy;
+                  last_t = t;
+                  return frac;
+                });
 }
 
 Process* StorageStack::NewProcess(const std::string& name) {

@@ -59,9 +59,15 @@ class StorageStack {
   StorageStack(const StackConfig& config, CpuModel* cpu,
                std::unique_ptr<SplitScheduler> sched,
                std::unique_ptr<Elevator> legacy);
+  // Unregisters this stack's telemetry gauges (benches run one stack per
+  // scheduler; a dead stack must not be sampled).
+  ~StorageStack();
 
   // Spawns all background tasks (dispatcher, writeback, journal). Must be
-  // called inside an active Simulator.
+  // called inside an active Simulator. When the telemetry hub is active
+  // (src/obs/metrics) this also registers the stack's cross-layer gauges:
+  // elevator/software-queue depths, in-flight commands, dirty pages, device
+  // busy fraction and command-queue occupancy.
   void Start();
 
   Process* NewProcess(const std::string& name);
@@ -80,6 +86,8 @@ class StorageStack {
   CowFsSim* cow() { return dynamic_cast<CowFsSim*>(fs_.get()); }
 
  private:
+  void RegisterGauges();
+
   StackConfig config_;
   CpuModel* cpu_;
   std::unique_ptr<BlockDevice> device_;

@@ -41,6 +41,7 @@ Task<DeviceResult> BlockDevice::ServiceCommand(const DeviceRequest& req) {
     if (out.extra_latency > 0) {
       co_await Delay(out.extra_latency);
       busy_time_ += out.extra_latency;
+      counters().device_busy_ns += static_cast<uint64_t>(out.extra_latency);
     }
     if (out.error != 0) {
       // The request dies in the controller: no media transfer, no
@@ -125,6 +126,7 @@ Task<Nanos> BlockDevice::Flush() {
   }
   Nanos service = co_await FlushModel();
   busy_time_ += service;
+  counters().device_busy_ns += static_cast<uint64_t>(service);
   ++flushes_;
   ++counters().device_flushes;
   durable_seq_ = write_seq_;

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "src/metrics/counters.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
@@ -190,6 +191,7 @@ class BlockDevice {
       bytes_read_ += req.bytes;
     }
     busy_time_ += service;
+    counters().device_busy_ns += static_cast<uint64_t>(service);
   }
 
   uint64_t bytes_read_ = 0;

@@ -34,6 +34,12 @@ struct Counters {
   uint64_t journal_commits = 0;    // jbd2 commit records + XFS log forces
   uint64_t wb_pages_flushed = 0;   // pages handed to the block layer
   uint64_t mq_kicks = 0;           // hardware-context wakeups (blk-mq)
+  // Simulated nanoseconds the device spent servicing commands (media
+  // transfers, fault-injected stalls, cache flushes). With parallel service
+  // channels the per-channel times add up, so over an interval this can
+  // exceed wall (simulated) time — it is occupancy, not utilization. Makes
+  // busy fraction available in BENCHJSON even with telemetry off.
+  uint64_t device_busy_ns = 0;
   // Heap allocations (global operator new, src/metrics/alloc_hook.cc) —
   // a cheap proxy for allocator pressure on the simulation hot path.
   uint64_t allocs = 0;
@@ -57,6 +63,7 @@ struct Counters {
     d.journal_commits = journal_commits - earlier.journal_commits;
     d.wb_pages_flushed = wb_pages_flushed - earlier.wb_pages_flushed;
     d.mq_kicks = mq_kicks - earlier.mq_kicks;
+    d.device_busy_ns = device_busy_ns - earlier.device_busy_ns;
     d.allocs = allocs - earlier.allocs;
     return d;
   }

@@ -1,0 +1,45 @@
+// Simulator time-advance hook for passive telemetry sampling.
+//
+// The telemetry plane (src/obs/metrics.h) samples gauges on a fixed
+// simulated-time grid without adding events to the simulator: gauge values
+// are piecewise-constant between events in a discrete-event simulation, so
+// sampling "at time T" is exact if performed the moment the clock first
+// moves past T. Simulator::Run calls AdvanceTo(t) right before advancing
+// the clock to t; the hook samples every due grid boundary < t. A sampler
+// coroutine would instead inject wake-ups and perturb the sim_events /
+// sim_immediate counters — the hook keeps a metrics-on run's simulated
+// schedule (and therefore its counters and tables) byte-identical to a
+// metrics-off run.
+//
+// The hook is thread_local, like the simulator itself: the stress runner's
+// worker threads each run their own simulations and are unaffected by a
+// hub installed on the main thread. When no hook is installed the cost per
+// time-advancing event is one load and one branch.
+#ifndef SRC_METRICS_SAMPLE_HOOK_H_
+#define SRC_METRICS_SAMPLE_HOOK_H_
+
+#include "src/sim/time.h"
+
+namespace splitio {
+
+class SampleHook {
+ public:
+  virtual ~SampleHook() = default;
+
+  // The clock is about to move to `t`: sample every due boundary < t. The
+  // implementation must only *read* simulation state — no scheduling, no
+  // simulated-time interaction.
+  virtual void AdvanceTo(Nanos t) = 0;
+
+  // A new Simulator was constructed (clock back at 0): reset the grid.
+  virtual void OnSimulatorStart() = 0;
+};
+
+inline thread_local SampleHook* g_sample_hook = nullptr;
+
+inline SampleHook* sample_hook() { return g_sample_hook; }
+inline void set_sample_hook(SampleHook* hook) { g_sample_hook = hook; }
+
+}  // namespace splitio
+
+#endif  // SRC_METRICS_SAMPLE_HOOK_H_

@@ -1,0 +1,200 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace splitio {
+namespace obs {
+
+namespace {
+
+// %.17g matches the BENCHJSON metric formatting: shortest round-trippable
+// doubles, stable across runs of the same binary.
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsHub::AddGauge(const void* owner, const std::string& name,
+                          const std::string& unit, GaugeFn fn) {
+  Series s;
+  s.label = LabelName(CurrentLabel());
+  s.name = name;
+  s.unit = unit;
+  s.period = config_.period;
+  s.ring.Reset(config_.ring_capacity);
+  s.owner = owner;
+  s.fn = std::move(fn);
+  s.live = true;
+  series_.push_back(std::move(s));
+}
+
+void MetricsHub::RemoveOwner(const void* owner) {
+  for (Series& s : series_) {
+    if (s.owner == owner) {
+      s.live = false;
+      s.fn = nullptr;  // the gauged objects may be about to die
+    }
+  }
+}
+
+LogHistogram* MetricsHub::AddHistogram(const std::string& name) {
+  Hist h;
+  h.label = LabelName(CurrentLabel());
+  h.name = name;
+  hists_.push_back(std::move(h));
+  return &hists_.back().histogram;
+}
+
+void MetricsHub::AddSampledSeries(const std::string& name,
+                                  const std::string& unit, Nanos period,
+                                  const std::vector<double>& values) {
+  Series s;
+  s.label = LabelName(CurrentLabel());
+  s.name = name;
+  s.unit = unit;
+  s.period = period;
+  s.ring.Reset(std::max(values.size(), size_t{1}));
+  for (size_t i = 0; i < values.size(); ++i) {
+    s.ring.Push(static_cast<Nanos>(i + 1) * period, values[i]);
+  }
+  s.live = false;
+  series_.push_back(std::move(s));
+}
+
+void MetricsHub::AddAlertSummary(AlertSummary summary) {
+  summary.label = LabelName(CurrentLabel());
+  alerts_.push_back(std::move(summary));
+}
+
+void MetricsHub::AdvanceTo(Nanos t) {
+  // Allocation-free: iterate the deque, call the closures, push into the
+  // preallocated rings. Gauge values are piecewise-constant between events,
+  // so sampling every due boundary at the first crossing is exact.
+  while (next_due_ < t) {
+    Nanos boundary = next_due_;
+    for (Series& s : series_) {
+      if (s.live) {
+        s.ring.Push(boundary, s.fn(boundary));
+      }
+    }
+    next_due_ += config_.period;
+  }
+}
+
+void MetricsHub::WriteJsonl(std::ostream& out) const {
+  uint64_t points = 0;
+  for (const Series& s : series_) {
+    points += s.ring.count();
+  }
+  out << "{\"type\":\"meta\",\"period_ns\":" << config_.period
+      << ",\"ring_capacity\":" << config_.ring_capacity
+      << ",\"series\":" << series_.size() << ",\"points\":" << points
+      << ",\"histograms\":" << hists_.size()
+      << ",\"alerts\":" << alerts_.size() << "}\n";
+  for (const Series& s : series_) {
+    out << "{\"type\":\"series\",\"label\":\"" << EscapeJson(s.label)
+        << "\",\"name\":\"" << EscapeJson(s.name) << "\",\"unit\":\""
+        << EscapeJson(s.unit) << "\",\"period_ns\":" << s.period
+        << ",\"samples\":" << s.ring.count() << ",\"peak\":"
+        << Num(s.ring.peak()) << ",\"avg\":" << Num(s.ring.avg())
+        << ",\"last\":" << Num(s.ring.last()) << ",\"points\":[";
+    for (size_t i = 0; i < s.ring.retained(); ++i) {
+      RingSeries::Point p = s.ring.At(i);
+      out << (i > 0 ? "," : "") << "[" << p.t << "," << Num(p.v) << "]";
+    }
+    out << "]}\n";
+  }
+  for (const Hist& h : hists_) {
+    const LogHistogram& lh = h.histogram;
+    out << "{\"type\":\"hist\",\"label\":\"" << EscapeJson(h.label)
+        << "\",\"name\":\"" << EscapeJson(h.name)
+        << "\",\"count\":" << lh.count() << ",\"min_ns\":" << lh.Min()
+        << ",\"max_ns\":" << lh.Max() << ",\"p50_ns\":" << lh.Percentile(50)
+        << ",\"p99_ns\":" << lh.Percentile(99)
+        << ",\"p999_ns\":" << lh.Percentile(99.9) << ",\"bins\":[";
+    bool first = true;
+    for (int b = 0; b < LogHistogram::kBins; ++b) {
+      if (lh.BinCount(b) == 0) {
+        continue;
+      }
+      out << (first ? "" : ",") << "[" << LogHistogram::BinUpperBound(b)
+          << "," << lh.BinCount(b) << "]";
+      first = false;
+    }
+    out << "]}\n";
+  }
+  for (const AlertSummary& a : alerts_) {
+    out << "{\"type\":\"alerts\",\"label\":\"" << EscapeJson(a.label)
+        << "\",\"name\":\"" << EscapeJson(a.name)
+        << "\",\"window_ns\":" << a.window << ",\"target_ns\":" << a.target
+        << ",\"budget\":" << Num(a.budget) << ",\"windows\":" << a.windows
+        << ",\"alert_windows\":" << a.alert_windows
+        << ",\"first_alert_ns\":" << a.first_alert
+        << ",\"worst_fraction\":" << Num(a.worst_fraction)
+        << ",\"worst_window_start_ns\":" << a.worst_window_start << "}\n";
+  }
+}
+
+void MetricsHub::WriteCsv(std::ostream& out) const {
+  out << "label,name,unit,t_ns,value\n";
+  for (const Series& s : series_) {
+    for (size_t i = 0; i < s.ring.retained(); ++i) {
+      RingSeries::Point p = s.ring.At(i);
+      out << s.label << "," << s.name << "," << s.unit << "," << p.t << ","
+          << Num(p.v) << "\n";
+    }
+  }
+}
+
+std::vector<std::pair<std::string, double>> MetricsHub::Summary() const {
+  std::vector<std::pair<std::string, double>> out;
+  uint64_t points = 0;
+  for (const Series& s : series_) {
+    points += s.ring.count();
+  }
+  out.emplace_back("timeline_series", static_cast<double>(series_.size()));
+  out.emplace_back("timeline_points", static_cast<double>(points));
+  out.emplace_back("timeline_histograms", static_cast<double>(hists_.size()));
+  uint64_t alert_windows = 0;
+  for (const AlertSummary& a : alerts_) {
+    alert_windows += a.alert_windows;
+  }
+  out.emplace_back("timeline_alert_windows",
+                   static_cast<double>(alert_windows));
+  // Per series *name* (aggregated across labels, so the count is bounded by
+  // the distinct gauges, not by schedulers x gauges): the run-wide peak.
+  std::map<std::string, double> peaks;
+  for (const Series& s : series_) {
+    if (s.ring.count() == 0) {
+      continue;
+    }
+    auto [it, inserted] = peaks.try_emplace(s.name, s.ring.peak());
+    if (!inserted && s.ring.peak() > it->second) {
+      it->second = s.ring.peak();
+    }
+  }
+  for (const auto& [name, peak] : peaks) {
+    out.emplace_back("tl_peak_" + name, peak);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace splitio

@@ -1,0 +1,378 @@
+// Simulated-time telemetry plane: ring-buffered gauge time series and log2
+// latency histogram sketches (ISSUE 9).
+//
+// Zero-overhead-when-off contract, mirroring trace_sink.h: every
+// instrumentation site guards with
+//
+//   if (obs::MetricsHub* hub = obs::ActiveMetricsHub()) { ... }
+//
+// `ActiveMetricsHub()` is an inline load of a thread_local pointer, so a
+// metrics-off run pays one predictable branch per site, never allocates,
+// and leaves the simulated schedule untouched. Sampling is *passive*: the
+// hub registers as the simulator's SampleHook (src/metrics/sample_hook.h)
+// and is driven from Simulator::Run as the clock advances — no sampler
+// coroutine, no extra events, so a metrics-on run keeps its tables and
+// counters byte-identical (modulo host-side `allocs`) to a metrics-off run.
+// Building with -DSPLITIO_DISABLE_METRICS compiles the gate to `if (false)`
+// and removes the instrumentation entirely.
+//
+// Three recording surfaces:
+//   - gauges: AddGauge registers a read-only closure; the hub samples every
+//     live gauge on a fixed simulated-time grid (default every 100 ms) into
+//     a preallocated RingSeries (the last `ring_capacity` points are
+//     retained; peak/avg/count cover the whole run). The record path —
+//     hook dispatch, closure call, ring push — is allocation-free.
+//   - histograms: AddHistogram returns a stable LogHistogram*, a fixed-bin
+//     log2 sketch (8 sub-buckets per octave => relative error <= 12.5%,
+//     never under-reporting). Record() is two array increments; sketches
+//     merge by element-wise addition.
+//   - post-run summaries: AddSampledSeries / AddAlertSummary bulk-load
+//     derived timelines (e.g. per-window SLO burn fractions) after a run.
+//
+// Series and histograms are labeled with the current trace label
+// (StackCounterScope pushes the scheduler name), so a bench comparing eight
+// schedulers exports distinguishable timelines from one process-global hub.
+// Export: JSONL (one meta/series/hist/alerts object per line; read by
+// tools/metrics_report) and CSV, plus a bounded BENCHJSON `timelines`
+// summary (see metrics_global.h).
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/metrics/sample_hook.h"
+#include "src/obs/trace_sink.h"
+#include "src/sim/time.h"
+
+namespace splitio {
+namespace obs {
+
+#ifdef SPLITIO_DISABLE_METRICS
+inline constexpr bool kMetricsCompiled = false;
+#else
+inline constexpr bool kMetricsCompiled = true;
+#endif
+
+// ---------------------------------------------------------------------------
+// LogHistogram — fixed-bin log2 latency sketch.
+//
+// Values < kSubBuckets land in exact unit bins; larger values are bucketed
+// by octave (floor log2) with kSubBuckets linear sub-buckets per octave, so
+// a bin's width is at most lower_bound / kSubBuckets. Percentile() walks
+// the bins nearest-rank (the same definition as LatencyRecorder) and
+// reports the bin's *upper* bound clamped to the exact max: the reported
+// quantile is never below the true sample and at most (1 + 1/kSubBuckets)
+// of it — errs strictly on the pessimistic side, so a sketch never masks a
+// tail violation. Record is two array increments and min/max updates;
+// Merge is element-wise addition (associative and commutative).
+// ---------------------------------------------------------------------------
+class LogHistogram {
+ public:
+  static constexpr int kSubBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 8
+  // Octave groups above the exact range; covers values up to 2^51 ns
+  // (~26 simulated days). Larger values clamp into the last bin.
+  static constexpr int kGroups = 48;
+  static constexpr int kBins = kSubBuckets * (kGroups + 1);
+  static constexpr double kMaxRelativeError = 1.0 / kSubBuckets;  // 12.5%
+
+  void Record(Nanos value) {
+    ++count_;
+    if (value < min_) {
+      min_ = value;
+    }
+    if (value > max_) {
+      max_ = value;
+    }
+    ++bins_[BinIndex(value)];
+  }
+
+  void Merge(const LogHistogram& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    count_ += other.count_;
+    if (other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+    for (int i = 0; i < kBins; ++i) {
+      bins_[static_cast<size_t>(i)] += other.bins_[static_cast<size_t>(i)];
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  Nanos Min() const { return count_ == 0 ? 0 : min_; }
+  Nanos Max() const { return count_ == 0 ? 0 : max_; }
+
+  // Nearest-rank percentile over the sketch (0 when empty). p <= 0 returns
+  // the exact min; the result is clamped into [Min(), Max()].
+  Nanos Percentile(double p) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    if (p <= 0) {
+      return min_;
+    }
+    double rank_d = p / 100.0 * static_cast<double>(count_);
+    uint64_t rank = static_cast<uint64_t>(rank_d);
+    if (static_cast<double>(rank) < rank_d) {
+      ++rank;  // ceil
+    }
+    if (rank < 1) {
+      rank = 1;
+    }
+    if (rank > count_) {
+      rank = count_;
+    }
+    uint64_t seen = 0;
+    for (int i = 0; i < kBins; ++i) {
+      seen += bins_[static_cast<size_t>(i)];
+      if (seen >= rank) {
+        Nanos upper = BinUpperBound(i);
+        if (upper > max_) {
+          upper = max_;
+        }
+        if (upper < min_) {
+          upper = min_;
+        }
+        return upper;
+      }
+    }
+    return max_;  // unreachable with count_ > 0
+  }
+
+  uint64_t BinCount(int bin) const { return bins_[static_cast<size_t>(bin)]; }
+
+  bool operator==(const LogHistogram& other) const {
+    return count_ == other.count_ && bins_ == other.bins_ &&
+           (count_ == 0 || (min_ == other.min_ && max_ == other.max_));
+  }
+
+  // Inclusive upper bound of a bin's value range (exact for the unit bins).
+  static Nanos BinUpperBound(int bin) {
+    if (bin < kSubBuckets) {
+      return bin;
+    }
+    int group = bin >> kSubBits;           // >= 1
+    int sub = bin & (kSubBuckets - 1);
+    int shift = group - 1;
+    return ((static_cast<Nanos>(kSubBuckets + sub + 1)) << shift) - 1;
+  }
+
+  static int BinIndex(Nanos value) {
+    if (value < kSubBuckets) {
+      return value < 0 ? 0 : static_cast<int>(value);
+    }
+    uint64_t v = static_cast<uint64_t>(value);
+    int exponent = std::bit_width(v) - 1;      // floor log2, >= kSubBits
+    int group = exponent - kSubBits + 1;
+    if (group > kGroups) {                     // clamp into the last group
+      group = kGroups;
+      return group * kSubBuckets + (kSubBuckets - 1);
+    }
+    int shift = group - 1;
+    int sub = static_cast<int>((v >> shift) & (kSubBuckets - 1));
+    return group * kSubBuckets + sub;
+  }
+
+ private:
+  uint64_t count_ = 0;
+  Nanos min_ = kNanosMax;
+  Nanos max_ = 0;
+  std::array<uint64_t, kBins> bins_ = {};
+};
+
+// ---------------------------------------------------------------------------
+// RingSeries — preallocated (time, value) ring. Push is O(1) and
+// allocation-free; the last `capacity` points are retained while peak /
+// average / count keep covering every sample of the run.
+// ---------------------------------------------------------------------------
+class RingSeries {
+ public:
+  struct Point {
+    Nanos t = 0;
+    double v = 0;
+  };
+
+  void Reset(size_t capacity) {
+    points_.assign(capacity > 0 ? capacity : 1, Point{});
+    head_ = 0;
+    size_ = 0;
+    count_ = 0;
+    sum_ = 0;
+    peak_ = 0;
+    last_ = 0;
+  }
+
+  void Push(Nanos t, double v) {
+    points_[head_] = Point{t, v};
+    head_ = (head_ + 1) % points_.size();
+    if (size_ < points_.size()) {
+      ++size_;
+    }
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v > peak_) {
+      peak_ = v;
+    }
+    last_ = v;
+  }
+
+  uint64_t count() const { return count_; }  // lifetime samples
+  size_t retained() const { return size_; }
+  double peak() const { return peak_; }
+  double last() const { return last_; }
+  double avg() const {
+    return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+  }
+
+  // Oldest retained point first.
+  Point At(size_t i) const {
+    size_t start = (head_ + points_.size() - size_) % points_.size();
+    return points_[(start + i) % points_.size()];
+  }
+
+ private:
+  std::vector<Point> points_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double peak_ = 0;
+  double last_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// MetricsHub — the process' telemetry registry and sampler.
+// ---------------------------------------------------------------------------
+struct MetricsConfig {
+  Nanos period = Msec(100);    // gauge sampling grid
+  size_t ring_capacity = 4096; // retained points per series
+};
+
+class MetricsHub : public SampleHook {
+ public:
+  // Gauge closures receive the sample's simulated time (for stateful
+  // derivations such as busy fraction over the last interval) and must only
+  // read simulation state. `owner` scopes the gauge's lifetime: RemoveOwner
+  // stops sampling it (recorded data is kept) — call it before the gauged
+  // objects are destroyed.
+  using GaugeFn = std::function<double(Nanos)>;
+
+  void Configure(const MetricsConfig& config) { config_ = config; }
+  const MetricsConfig& config() const { return config_; }
+
+  void AddGauge(const void* owner, const std::string& name,
+                const std::string& unit, GaugeFn fn);
+  void RemoveOwner(const void* owner);
+
+  // Returns a stable pointer (hub-owned); Record on it is allocation-free.
+  LogHistogram* AddHistogram(const std::string& name);
+
+  // Bulk-loads a derived, regularly-sampled series: values[i] is the value
+  // of the window ending at (i+1)*period.
+  void AddSampledSeries(const std::string& name, const std::string& unit,
+                        Nanos period, const std::vector<double>& values);
+
+  // Records a windowed SLO burn-rate evaluation (src/tenant/slo.h).
+  struct AlertSummary {
+    std::string label;
+    std::string name;
+    Nanos window = 0;
+    Nanos target = 0;
+    double budget = 0;
+    uint64_t windows = 0;        // windows with at least one completion
+    uint64_t alert_windows = 0;
+    Nanos first_alert = -1;      // -1: never fired
+    double worst_fraction = 0;
+    Nanos worst_window_start = -1;
+  };
+  void AddAlertSummary(AlertSummary summary);
+
+  // SampleHook: driven by Simulator::Run as the clock advances.
+  void AdvanceTo(Nanos t) override;
+  void OnSimulatorStart() override { next_due_ = config_.period; }
+
+  void WriteJsonl(std::ostream& out) const;
+  void WriteCsv(std::ostream& out) const;
+
+  // Bounded summary for the BENCHJSON line: series/point/histogram/alert
+  // totals plus, per distinct series *name*, the peak across labels.
+  std::vector<std::pair<std::string, double>> Summary() const;
+
+  struct Series {
+    std::string label;
+    std::string name;
+    std::string unit;
+    Nanos period = 0;
+    RingSeries ring;
+    const void* owner = nullptr;
+    GaugeFn fn;          // null for bulk-loaded series
+    bool live = false;   // still sampled
+  };
+  struct Hist {
+    std::string label;
+    std::string name;
+    LogHistogram histogram;
+  };
+
+  const std::deque<Series>& series() const { return series_; }
+  const std::deque<Hist>& histograms() const { return hists_; }
+  const std::vector<AlertSummary>& alerts() const { return alerts_; }
+
+ private:
+  MetricsConfig config_;
+  Nanos next_due_ = 0;
+  // deques: stable addresses for LogHistogram* handed to recorders.
+  std::deque<Series> series_;
+  std::deque<Hist> hists_;
+  std::vector<AlertSummary> alerts_;
+};
+
+// ---------------------------------------------------------------------------
+// The active hub. Thread_local (one simulation per thread, as with counters
+// and the trace registries); instrumentation sites treat a null hub as
+// "metrics off".
+// ---------------------------------------------------------------------------
+inline thread_local MetricsHub* g_metrics_hub = nullptr;
+
+inline MetricsHub* ActiveMetricsHub() {
+  return kMetricsCompiled ? g_metrics_hub : nullptr;
+}
+
+// Installs a hub (and its sample hook) for a scope — the test harness's way
+// in; bench binaries use EnableGlobalMetrics (metrics_global.h) instead.
+class ScopedMetricsHub {
+ public:
+  explicit ScopedMetricsHub(MetricsHub* hub)
+      : prev_hub_(g_metrics_hub), prev_hook_(sample_hook()) {
+    g_metrics_hub = hub;
+    set_sample_hook(hub);
+  }
+  ~ScopedMetricsHub() {
+    g_metrics_hub = prev_hub_;
+    set_sample_hook(prev_hook_);
+  }
+  ScopedMetricsHub(const ScopedMetricsHub&) = delete;
+  ScopedMetricsHub& operator=(const ScopedMetricsHub&) = delete;
+
+ private:
+  MetricsHub* prev_hub_;
+  SampleHook* prev_hook_;
+};
+
+}  // namespace obs
+}  // namespace splitio
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,43 @@
+// Process-global telemetry capture for bench binaries — the metrics twin of
+// trace_global.h.
+//
+// `--metrics timelines.jsonl [--metrics-csv timelines.csv]
+//  [--metrics-period-ms N]` (bench/common/flags.h) calls
+// EnableGlobalMetrics, which installs a process-lifetime MetricsHub as the
+// active hub and the simulator's sample hook. The bench atexit reporter
+// (bench/common/report.h) calls FinalizeGlobalMetrics just before printing
+// BENCHJSON: the timelines are written as JSONL/CSV and the bounded
+// `timelines` summary metrics are appended to the BENCHJSON line. When
+// metrics were never enabled all of this is inert and the run is
+// byte-identical to before (the extended check_trace_invariance ctest pins
+// this down).
+#ifndef SRC_OBS_METRICS_GLOBAL_H_
+#define SRC_OBS_METRICS_GLOBAL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace splitio {
+namespace obs {
+
+// Installs the global hub and remembers the output paths. Either path may
+// be empty (but at least one should be set for the run to be useful).
+// `period` <= 0 keeps the default sampling grid. Idempotent: first call
+// wins.
+void EnableGlobalMetrics(const std::string& jsonl_path,
+                         const std::string& csv_path, Nanos period);
+
+bool GlobalMetricsConfigured();
+
+// Writes the JSONL/CSV file(s), detaches the hub, and returns the summary
+// metrics to splice into BENCHJSON. Safe to call when metrics were never
+// enabled (returns empty). Idempotent: the second call returns empty.
+std::vector<std::pair<std::string, double>> FinalizeGlobalMetrics();
+
+}  // namespace obs
+}  // namespace splitio
+
+#endif  // SRC_OBS_METRICS_GLOBAL_H_

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/metrics/counters.h"
+#include "src/metrics/sample_hook.h"
 
 namespace splitio {
 
@@ -53,6 +54,9 @@ void JoinState::MarkDone() {
 Simulator::Simulator() {
   assert(g_current == nullptr && "nested simulators are not supported");
   g_current = this;
+  if (SampleHook* hook = sample_hook()) {
+    hook->OnSimulatorStart();  // fresh clock: reset the sampling grid
+  }
   std::vector<QueueItem> storage;
   storage.reserve(kInitialQueueCapacity);
   queue_ = std::priority_queue<QueueItem, std::vector<QueueItem>,
@@ -83,6 +87,10 @@ void Simulator::Run(Nanos until) {
     bool from_ready;
     if (ready_.empty()) {
       if (queue_.empty()) {
+        // Quiescent exit: flush samples due up to (and including) now_.
+        if (SampleHook* hook = sample_hook()) {
+          hook->AdvanceTo(now_ + 1);
+        }
         return;
       }
       from_ready = false;
@@ -95,6 +103,11 @@ void Simulator::Run(Nanos until) {
     }
     const QueueItem& top = from_ready ? ready_.front() : queue_.top();
     if (top.time > until) {
+      // Horizon exit: flush samples due up to (and including) `until`.
+      // (top.time > until implies until < kNanosMax, so +1 cannot wrap.)
+      if (SampleHook* hook = sample_hook()) {
+        hook->AdvanceTo(until + 1);
+      }
       now_ = until;
       return;
     }
@@ -103,6 +116,15 @@ void Simulator::Run(Nanos until) {
       ready_.pop_front();
     } else {
       queue_.pop();
+    }
+    if (item.time > now_) {
+      // The clock is about to advance: sample every telemetry grid boundary
+      // the jump crosses. State at a boundary B reflects all events with
+      // time <= B — exactly the piecewise-constant value at B (see
+      // src/metrics/sample_hook.h). Same-time wake-ups skip the check.
+      if (SampleHook* hook = sample_hook()) {
+        hook->AdvanceTo(item.time);
+      }
     }
     now_ = item.time;
     ++events_processed_;

@@ -257,6 +257,7 @@ ExecResult ExecuteScenario(const Scenario& scenario,
   result.merged = stack.block().total_merged();
   result.inflight_at_end = stack.block().inflight();
   result.elevator_empty = stack.block().elevator().Empty();
+  result.queue_peak = stack.block().queue_peak();
   result.device_bytes_read = stack.device().total_bytes_read();
   result.device_bytes_written = stack.device().total_bytes_written();
   result.device_busy = stack.device().busy_time();

@@ -53,6 +53,9 @@ struct ExecResult {
   uint64_t device_flushes = 0;
   int inflight_at_end = 0;
   bool elevator_empty = true;
+  // Run-wide peak of (elevator + software-queue) depth — the memory-pressure
+  // cost axis in tools/sched_search.
+  int queue_peak = 0;
 
   // --- Counter deltas (conservation oracle) ---
   uint64_t pages_dirtied = 0;

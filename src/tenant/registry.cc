@@ -37,8 +37,29 @@ TenantRegistry::TenantRegistry(StorageStack* stack,
     : stack_(stack), config_(std::move(config)) {}
 
 void TenantRegistry::Setup() {
+  obs::MetricsHub* hub = obs::ActiveMetricsHub();
   int id = 0;
   for (const TenantClass& cls : config_.classes) {
+    // One burn tracker per group with a p99.9 objective; the first class
+    // registering a group sets the latency target.
+    BurnRateTracker* burn = nullptr;
+    if (cls.group >= 0 && cls.slo.p999 > 0) {
+      auto [it, inserted] = burn_.try_emplace(cls.group);
+      burn = &it->second;
+      if (inserted) {
+        BurnRateTracker::Config bc;
+        bc.window = config_.burn_window;
+        bc.target = cls.slo.p999;
+        bc.budget = config_.burn_budget;
+        bc.alert_factor = config_.burn_alert_factor;
+        bc.min_violations = config_.burn_min_violations;
+        bc.horizon =
+            config_.burn_horizon > 0 ? config_.burn_horizon : config_.until;
+        burn->Configure(bc);
+      }
+    }
+    obs::LogHistogram* hist =
+        hub != nullptr ? hub->AddHistogram("lat_" + cls.name) : nullptr;
     for (int i = 0; i < cls.count; ++i, ++id) {
       // Salt the per-tenant stream with the id so class-count changes leave
       // other tenants' draws untouched.
@@ -58,6 +79,8 @@ void TenantRegistry::Setup() {
       uint64_t slots = cls.file_bytes / cls.io_bytes;
       t->offset = (slots > 0 ? t->rng.Below(slots) : 0) * cls.io_bytes;
       slo_.Register(id, cls.group, cls.slo);
+      t->burn = burn;
+      t->hist = hist;
       tenants_.push_back(std::move(t));
     }
   }
@@ -167,10 +190,17 @@ Task<void> TenantRegistry::RunTenant(TenantState* t) {
     t->op_start = now;
     bool ok = false;
     co_await RunOp(t, &ok);
-    Nanos latency = Simulator::current().Now() - t->op_start;
+    Nanos completed = Simulator::current().Now();
+    Nanos latency = completed - t->op_start;
     t->op_start = kNanosMax;
     if (ok) {
       slo_.Record(t->id, latency);
+      if (t->burn != nullptr) {
+        t->burn->Record(completed, latency);
+      }
+      if (t->hist != nullptr) {
+        t->hist->Record(latency);
+      }
       ++total_ops_;
     } else {
       ++failed_ops_;
@@ -181,7 +211,14 @@ Task<void> TenantRegistry::RunTenant(TenantState* t) {
 void TenantRegistry::RecordCensored(Nanos now) {
   for (const auto& t : tenants_) {
     if (t->op_start != kNanosMax && now > t->op_start) {
-      slo_.Record(t->id, now - t->op_start);
+      Nanos latency = now - t->op_start;
+      slo_.Record(t->id, latency);
+      if (t->burn != nullptr) {
+        t->burn->Record(now, latency);
+      }
+      if (t->hist != nullptr) {
+        t->hist->Record(latency);
+      }
       t->op_start = kNanosMax;
     }
   }

@@ -27,10 +27,12 @@
 #ifndef SRC_TENANT_REGISTRY_H_
 #define SRC_TENANT_REGISTRY_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/core/storage_stack.h"
+#include "src/obs/metrics.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/tenant/slo.h"
@@ -62,6 +64,15 @@ struct TenantRegistryConfig {
   std::vector<TenantClass> classes;
   uint64_t seed = 1;
   Nanos until = Sec(5);  // tenants stop issuing new ops at this time
+
+  // Burn-rate alerting (BurnRateTracker). One tracker per group whose class
+  // carries a p99.9 objective; the objective is the window target. Always
+  // on — evaluation is deterministic and does not perturb the run.
+  Nanos burn_window = Sec(1);
+  double burn_budget = 0.001;
+  double burn_alert_factor = 50.0;
+  uint64_t burn_min_violations = 2;
+  Nanos burn_horizon = 0;  // 0: use `until` (drain completions clamp in)
 };
 
 class TenantRegistry {
@@ -87,6 +98,12 @@ class TenantRegistry {
   void RecordCensored(Nanos now);
 
   SloTracker& slo() { return slo_; }
+  // The burn-rate tracker for `group`, or nullptr when no class in that
+  // group declared a p99.9 objective.
+  const BurnRateTracker* burn(int group) const {
+    auto it = burn_.find(group);
+    return it != burn_.end() ? &it->second : nullptr;
+  }
   const std::vector<TenantClass>& classes() const { return config_.classes; }
   int tenant_count() const { return static_cast<int>(tenants_.size()); }
   uint64_t total_ops() const { return total_ops_; }
@@ -104,6 +121,9 @@ class TenantRegistry {
     Rng rng;
     // Start time of the op in flight; kNanosMax when thinking.
     Nanos op_start = kNanosMax;
+    // Shared per-group / per-class telemetry sinks (null when absent).
+    BurnRateTracker* burn = nullptr;       // always-on when group has a p999
+    obs::LogHistogram* hist = nullptr;     // only when the metrics hub is on
     explicit TenantState(uint64_t seed) : rng(seed) {}
   };
 
@@ -113,6 +133,7 @@ class TenantRegistry {
   StorageStack* stack_;
   TenantRegistryConfig config_;
   SloTracker slo_;
+  std::map<int, BurnRateTracker> burn_;  // keyed by group id
   std::vector<std::unique_ptr<TenantState>> tenants_;
   uint64_t total_ops_ = 0;
   uint64_t failed_ops_ = 0;

@@ -91,4 +91,82 @@ uint64_t SloTracker::ViolatingTenants() const {
   return n;
 }
 
+void BurnRateTracker::Configure(const Config& config) {
+  config_ = config;
+  if (config_.window <= 0) {
+    config_.window = Sec(1);
+  }
+  size_t n = 1;
+  if (config_.horizon > 0) {
+    n = static_cast<size_t>((config_.horizon + config_.window - 1) /
+                            config_.window);
+    if (n == 0) {
+      n = 1;
+    }
+  }
+  windows_.assign(n, Window{});
+}
+
+void BurnRateTracker::Record(Nanos completed_at, Nanos latency) {
+  if (windows_.empty()) {
+    Configure(config_);
+  }
+  size_t idx = completed_at <= 0
+                   ? 0
+                   : static_cast<size_t>(completed_at / config_.window);
+  if (idx >= windows_.size()) {
+    idx = windows_.size() - 1;  // drain-phase completions land in the tail
+  }
+  Window& w = windows_[idx];
+  ++w.ops;
+  if (config_.target > 0 && latency > config_.target) {
+    ++w.violations;
+  }
+}
+
+bool BurnRateTracker::Alerts(const Window& w, double* fraction) const {
+  if (w.ops == 0) {
+    *fraction = 0.0;
+    return false;
+  }
+  *fraction = static_cast<double>(w.violations) / static_cast<double>(w.ops);
+  return w.violations >= config_.min_violations &&
+         *fraction > config_.budget * config_.alert_factor;
+}
+
+BurnRateTracker::Report BurnRateTracker::Evaluate() const {
+  Report r;
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    const Window& w = windows_[i];
+    if (w.ops == 0) {
+      continue;
+    }
+    ++r.windows_with_ops;
+    double fraction = 0.0;
+    bool alerts = Alerts(w, &fraction);
+    if (fraction > r.worst_fraction) {
+      r.worst_fraction = fraction;
+      r.worst_window_start = static_cast<Nanos>(i) * config_.window;
+    }
+    if (alerts) {
+      ++r.alert_windows;
+      if (r.first_alert < 0) {
+        r.first_alert = static_cast<Nanos>(i) * config_.window;
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<double> BurnRateTracker::WindowFractions() const {
+  std::vector<double> out;
+  out.reserve(windows_.size());
+  for (const Window& w : windows_) {
+    out.push_back(w.ops == 0 ? 0.0
+                             : static_cast<double>(w.violations) /
+                                   static_cast<double>(w.ops));
+  }
+  return out;
+}
+
 }  // namespace splitio

@@ -87,6 +87,63 @@ class SloTracker {
   std::map<int, Tenant> tenants_;
 };
 
+// Windowed SLO burn-rate evaluation (the SRE error-budget style, but over
+// simulated time): the run's horizon is carved into fixed windows, every
+// completed operation lands in the window of its *completion* time, and a
+// window alerts when the fraction of operations over the latency target
+// consumes the error budget faster than `alert_factor` times the sustainable
+// rate. With budget 0.001 (an SLO of 99.9%) and alert_factor 50, a window
+// alerts when more than 5% of its operations breach the target — a page-now
+// signal, not a month-end post-mortem. `min_violations` suppresses alerts
+// from near-empty windows where one slow op is 100% of the traffic.
+//
+// Windows are preallocated up front from the horizon (allocation-free record
+// path) and evaluation is deterministic, so trackers can stay always-on
+// without perturbing benchmark output.
+class BurnRateTracker {
+ public:
+  struct Config {
+    Nanos window = Sec(1);
+    Nanos target = 0;       // latency ceiling (0 disables violation counting)
+    double budget = 0.001;  // allowed violating fraction (1 - SLO)
+    double alert_factor = 50.0;
+    uint64_t min_violations = 2;
+    Nanos horizon = 0;  // run length; windows preallocated to cover it
+  };
+
+  struct Window {
+    uint64_t ops = 0;
+    uint64_t violations = 0;
+  };
+
+  struct Report {
+    uint64_t windows_with_ops = 0;
+    uint64_t alert_windows = 0;
+    Nanos first_alert = -1;  // start of the earliest alerting window
+    double worst_fraction = 0.0;
+    Nanos worst_window_start = -1;
+  };
+
+  void Configure(const Config& config);
+  const Config& config() const { return config_; }
+
+  // Records an operation that completed at `completed_at` with end-to-end
+  // `latency`. Completions past the horizon clamp into the last window.
+  void Record(Nanos completed_at, Nanos latency);
+
+  Report Evaluate() const;
+  // Violating fraction per window (index i covers [i*window, (i+1)*window)),
+  // for timeline export; empty windows report 0.
+  std::vector<double> WindowFractions() const;
+  size_t window_count() const { return windows_.size(); }
+
+ private:
+  bool Alerts(const Window& w, double* fraction) const;
+
+  Config config_;
+  std::vector<Window> windows_;
+};
+
 }  // namespace splitio
 
 #endif  // SRC_TENANT_SLO_H_

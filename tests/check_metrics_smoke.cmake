@@ -1,0 +1,88 @@
+# Telemetry-plane smoke through the real CLIs: one metered bench run must
+# produce a readable timeline, and metrics_report must both accept it and
+# *gate* a regression against it:
+#   - the bench writes non-empty JSONL + CSV timelines and folds a
+#     "timeline_series" summary into BENCHJSON,
+#   - `metrics_report <run>` renders it (exit 0),
+#   - `metrics_report --diff <baseline> <run>` is clean against the
+#     committed baseline (exit 0; the run is deterministic),
+#   - diffing against a doctored baseline whose peaks are zeroed must fail
+#     (exit 1) and name the queue-depth series that regressed — the CI gate
+#     for queue-depth timeline regressions.
+# Invoked by ctest; pass -DBENCH=<bench binary> -DMETRICS_REPORT=<binary>
+# -DBASELINE=<committed timeline> -DWORKDIR=<scratch dir>.
+foreach(var BENCH METRICS_REPORT BASELINE WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "pass -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(timeline ${WORKDIR}/timeline.jsonl)
+set(csv ${WORKDIR}/timeline.csv)
+file(REMOVE ${timeline} ${csv})
+
+# detect_leaks=0: see check_determinism.cmake.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env ASAN_OPTIONS=detect_leaks=0
+                ${BENCH} --metrics ${timeline} --metrics-csv ${csv}
+                OUTPUT_VARIABLE out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "metered bench exited ${rc}")
+endif()
+foreach(f ${timeline} ${csv})
+  if(NOT EXISTS ${f})
+    message(FATAL_ERROR "metered run wrote no file at ${f}")
+  endif()
+  file(SIZE ${f} fsize)
+  if(fsize EQUAL 0)
+    message(FATAL_ERROR "${f} is empty")
+  endif()
+endforeach()
+string(FIND "${out}" "\"timeline_series\":" tl_pos)
+if(tl_pos EQUAL -1)
+  message(FATAL_ERROR "metered BENCHJSON carries no timeline summary")
+endif()
+
+# The report CLI renders the run.
+execute_process(COMMAND ${METRICS_REPORT} ${timeline}
+                OUTPUT_VARIABLE report_out RESULT_VARIABLE report_rc)
+if(NOT report_rc EQUAL 0)
+  message(FATAL_ERROR "metrics_report exited ${report_rc}:\n${report_out}")
+endif()
+string(FIND "${report_out}" "elv_depth" series_pos)
+if(series_pos EQUAL -1)
+  message(FATAL_ERROR "report lacks the elevator-depth series:\n${report_out}")
+endif()
+
+# Clean diff against the committed baseline: the bench is deterministic, so
+# a fresh run regresses nothing.
+execute_process(COMMAND ${METRICS_REPORT} --diff ${BASELINE} ${timeline}
+                OUTPUT_VARIABLE diff_out RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+          "clean diff against the baseline failed (${diff_rc}):\n${diff_out}")
+endif()
+
+# Regression gate: zero every peak/avg in a doctored copy of the baseline
+# and diff the fresh run against it — the real (nonzero) queue depths must
+# now read as regressions, exit 1, and name the offending series.
+file(READ ${BASELINE} doctored)
+string(REGEX REPLACE "\"peak\":[0-9.eE+-]+" "\"peak\":0" doctored
+       "${doctored}")
+string(REGEX REPLACE "\"avg\":[0-9.eE+-]+" "\"avg\":0" doctored "${doctored}")
+set(regressed ${WORKDIR}/regressed_baseline.jsonl)
+file(WRITE ${regressed} "${doctored}")
+execute_process(COMMAND ${METRICS_REPORT} --diff ${regressed} ${timeline}
+                OUTPUT_VARIABLE gate_out RESULT_VARIABLE gate_rc)
+if(NOT gate_rc EQUAL 1)
+  message(FATAL_ERROR "regression gate did not fire (exit ${gate_rc}, "
+          "wanted 1):\n${gate_out}")
+endif()
+string(FIND "${gate_out}" "REGRESSION" reg_pos)
+string(FIND "${gate_out}" "elv_depth" depth_pos)
+if(reg_pos EQUAL -1 OR depth_pos EQUAL -1)
+  message(FATAL_ERROR "gate fired but did not name the regressed "
+          "queue-depth series:\n${gate_out}")
+endif()
+message(STATUS "telemetry smoke: timeline exported, report rendered, "
+        "baseline diff clean, regression gate fires and names offenders")

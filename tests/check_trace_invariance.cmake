@@ -1,9 +1,12 @@
-# Tracing-off/on schedule-invariance check: runs one bench binary twice —
-# untraced, then with --trace — and requires that tracing only *observes*:
+# Observability-off/on schedule-invariance check: runs one bench binary
+# three times — plain, with --trace, and with --metrics — and requires that
+# both observability planes only *observe*:
 #   - every non-BENCHJSON output line (the paper tables) is byte-identical,
 #   - the counters object inside BENCHJSON is byte-identical (same simulated
 #     schedule, same work),
-#   - the traced run wrote a non-empty span JSONL and reported trace metrics.
+#   - the traced run wrote a non-empty span JSONL and reported trace metrics,
+#   - the metered run wrote a non-empty timeline JSONL and reported timeline
+#     metrics, neither of which appear in the plain run.
 # Invoked by ctest; pass -DBENCH=<path-to-binary> -DWORKDIR=<scratch dir>.
 if(NOT DEFINED BENCH)
   message(FATAL_ERROR "pass -DBENCH=<path to a bench binary>")
@@ -14,7 +17,8 @@ endif()
 
 file(MAKE_DIRECTORY ${WORKDIR})
 set(spans ${WORKDIR}/spans.jsonl)
-file(REMOVE ${spans})
+set(timeline ${WORKDIR}/timeline.jsonl)
+file(REMOVE ${spans} ${timeline})
 
 # detect_leaks=0: see check_determinism.cmake.
 execute_process(COMMAND ${CMAKE_COMMAND} -E env ASAN_OPTIONS=detect_leaks=0
@@ -23,15 +27,23 @@ execute_process(COMMAND ${CMAKE_COMMAND} -E env ASAN_OPTIONS=detect_leaks=0
 execute_process(COMMAND ${CMAKE_COMMAND} -E env ASAN_OPTIONS=detect_leaks=0
                 ${BENCH} --trace ${spans}
                 OUTPUT_VARIABLE out_on RESULT_VARIABLE rc_on)
-if(NOT rc_off EQUAL 0 OR NOT rc_on EQUAL 0)
-  message(FATAL_ERROR "bench exited nonzero: ${rc_off} / ${rc_on}")
+execute_process(COMMAND ${CMAKE_COMMAND} -E env ASAN_OPTIONS=detect_leaks=0
+                ${BENCH} --metrics ${timeline}
+                OUTPUT_VARIABLE out_met RESULT_VARIABLE rc_met)
+if(NOT rc_off EQUAL 0 OR NOT rc_on EQUAL 0 OR NOT rc_met EQUAL 0)
+  message(FATAL_ERROR
+          "bench exited nonzero: ${rc_off} / ${rc_on} / ${rc_met}")
 endif()
 
 # The paper tables (everything but the BENCHJSON line) must be identical.
 string(REGEX REPLACE "BENCHJSON [^\n]*" "BENCHJSON" tables_off "${out_off}")
 string(REGEX REPLACE "BENCHJSON [^\n]*" "BENCHJSON" tables_on "${out_on}")
+string(REGEX REPLACE "BENCHJSON [^\n]*" "BENCHJSON" tables_met "${out_met}")
 if(NOT tables_off STREQUAL tables_on)
   message(FATAL_ERROR "tracing changed the bench's table output")
+endif()
+if(NOT tables_off STREQUAL tables_met)
+  message(FATAL_ERROR "metrics changed the bench's table output")
 endif()
 
 # Same schedule => same counters object, byte for byte. One exception:
@@ -41,14 +53,20 @@ endif()
 # is stripped before comparing.
 string(REGEX MATCH "\"counters\":{[^}]*}" counters_off "${out_off}")
 string(REGEX MATCH "\"counters\":{[^}]*}" counters_on "${out_on}")
+string(REGEX MATCH "\"counters\":{[^}]*}" counters_met "${out_met}")
 string(REGEX REPLACE ",\"allocs\":[0-9]+" "" counters_off "${counters_off}")
 string(REGEX REPLACE ",\"allocs\":[0-9]+" "" counters_on "${counters_on}")
+string(REGEX REPLACE ",\"allocs\":[0-9]+" "" counters_met "${counters_met}")
 if(counters_off STREQUAL "")
   message(FATAL_ERROR "no counters object in untraced BENCHJSON")
 endif()
 if(NOT counters_off STREQUAL counters_on)
   message(FATAL_ERROR "tracing changed the counters:\n"
           "off: ${counters_off}\non:  ${counters_on}")
+endif()
+if(NOT counters_off STREQUAL counters_met)
+  message(FATAL_ERROR "metrics changed the counters:\n"
+          "off: ${counters_off}\nmet: ${counters_met}")
 endif()
 
 # The traced run must actually have produced spans + trace metrics.
@@ -67,5 +85,23 @@ string(FIND "${out_off}" "\"trace_spans\":" off_pos)
 if(NOT off_pos EQUAL -1)
   message(FATAL_ERROR "untraced BENCHJSON unexpectedly has trace metrics")
 endif()
-message(STATUS "tracing is observation-only: tables and counters identical, "
-        "${spans_size} bytes of spans")
+
+# The metered run must actually have produced a timeline + summary metrics.
+if(NOT EXISTS ${timeline})
+  message(FATAL_ERROR "metered run wrote no timeline file at ${timeline}")
+endif()
+file(SIZE ${timeline} timeline_size)
+if(timeline_size EQUAL 0)
+  message(FATAL_ERROR "timeline file ${timeline} is empty")
+endif()
+string(FIND "${out_met}" "\"timeline_series\":" tl_pos)
+if(tl_pos EQUAL -1)
+  message(FATAL_ERROR "metered BENCHJSON carries no timeline metrics")
+endif()
+string(FIND "${out_off}" "\"timeline_series\":" tl_off_pos)
+if(NOT tl_off_pos EQUAL -1)
+  message(FATAL_ERROR "plain BENCHJSON unexpectedly has timeline metrics")
+endif()
+message(STATUS "observability is observation-only: tables and counters "
+        "identical; ${spans_size} bytes of spans, ${timeline_size} bytes "
+        "of timeline")

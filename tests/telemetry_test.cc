@@ -1,0 +1,337 @@
+// Tests for the telemetry plane (src/obs/metrics): passive grid sampling
+// driven by the simulator clock, ring retention, the burn-rate windows, the
+// exporters, and the two contracts the subsystem is built around — metrics
+// never perturb the simulated schedule, and the record path is
+// allocation-free after registration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/block/noop.h"
+#include "src/core/storage_stack.h"
+#include "src/metrics/counters.h"
+#include "src/obs/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/tenant/slo.h"
+
+namespace splitio {
+namespace {
+
+TEST(RingSeries, WrapKeepsLifetimeStatsAndNewestPoints) {
+  obs::RingSeries ring;
+  ring.Reset(4);
+  for (int i = 1; i <= 10; ++i) {
+    ring.Push(Msec(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(ring.count(), 10u);     // lifetime, unaffected by the wrap
+  EXPECT_EQ(ring.retained(), 4u);   // only the newest capacity points kept
+  EXPECT_DOUBLE_EQ(ring.peak(), 10.0);
+  EXPECT_DOUBLE_EQ(ring.last(), 10.0);
+  EXPECT_DOUBLE_EQ(ring.avg(), 5.5);  // mean of 1..10, not of the tail
+  for (size_t i = 0; i < 4; ++i) {    // oldest retained first: 7, 8, 9, 10
+    EXPECT_EQ(ring.At(i).t, Msec(7 + static_cast<int>(i)));
+    EXPECT_DOUBLE_EQ(ring.At(i).v, 7.0 + static_cast<double>(i));
+  }
+}
+
+// The hub samples every gauge on the period grid as the simulator clock
+// advances. Gauge values are piecewise-constant between events, so the
+// sample at boundary B must reflect every event with time <= B: a value
+// set at 250 ms is invisible at the 200 ms sample and visible at 300 ms.
+TEST(MetricsHub, SamplesGaugesOnTheSimulatedTimeGrid) {
+  obs::MetricsHub hub;
+  obs::ScopedMetricsHub scope(&hub);
+  Simulator sim;  // resets the grid via SampleHook::OnSimulatorStart
+  int depth = 0;
+  hub.AddGauge(&depth, "depth", "reqs",
+               [&depth](Nanos) { return static_cast<double>(depth); });
+  auto body = [&]() -> Task<void> {
+    co_await Delay(Msec(250));
+    depth = 5;
+    co_await Delay(Msec(750));
+    depth = 2;
+  };
+  sim.Spawn(body());
+  sim.Run(Sec(1));
+
+  ASSERT_EQ(hub.series().size(), 1u);
+  const obs::MetricsHub::Series& s = hub.series().front();
+  EXPECT_EQ(s.name, "depth");
+  EXPECT_EQ(s.period, Msec(100));
+  ASSERT_EQ(s.ring.count(), 10u);  // samples at 100 ms .. 1000 ms
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(s.ring.At(i).t, Msec(100) * static_cast<Nanos>(i + 1));
+  }
+  EXPECT_DOUBLE_EQ(s.ring.At(0).v, 0.0);  // 100 ms: before the first event
+  EXPECT_DOUBLE_EQ(s.ring.At(1).v, 0.0);  // 200 ms
+  for (size_t i = 2; i < 9; ++i) {        // 300 .. 900 ms
+    EXPECT_DOUBLE_EQ(s.ring.At(i).v, 5.0);
+  }
+  // 1000 ms: the event at exactly 1000 ms lands before the boundary sample
+  // (quiescent exit flushes the grid through now).
+  EXPECT_DOUBLE_EQ(s.ring.At(9).v, 2.0);
+  EXPECT_DOUBLE_EQ(s.ring.peak(), 5.0);
+}
+
+TEST(MetricsHub, RemoveOwnerStopsSamplingButKeepsData) {
+  obs::MetricsHub hub;
+  int v = 7;
+  hub.AddGauge(&v, "g", "u", [&v](Nanos) { return static_cast<double>(v); });
+  hub.OnSimulatorStart();
+  hub.AdvanceTo(Msec(350));  // boundaries 100, 200, 300
+  ASSERT_EQ(hub.series().front().ring.count(), 3u);
+  hub.RemoveOwner(&v);
+  hub.AdvanceTo(Msec(650));  // the gauge is dead: no further samples
+  const obs::MetricsHub::Series& s = hub.series().front();
+  EXPECT_EQ(s.ring.count(), 3u);
+  EXPECT_FALSE(s.live);
+  EXPECT_DOUBLE_EQ(s.ring.last(), 7.0);  // recorded data survives removal
+}
+
+TEST(MetricsHub, SampledSeriesLandsOnWindowEnds) {
+  obs::MetricsHub hub;
+  hub.AddSampledSeries("burn", "frac", Sec(1), {0.0, 0.25, 1.0});
+  ASSERT_EQ(hub.series().size(), 1u);
+  const obs::MetricsHub::Series& s = hub.series().front();
+  EXPECT_FALSE(s.live);  // bulk-loaded, never sampled
+  ASSERT_EQ(s.ring.count(), 3u);
+  EXPECT_EQ(s.ring.At(0).t, Sec(1));  // value of the window ending at 1 s
+  EXPECT_EQ(s.ring.At(2).t, Sec(3));
+  EXPECT_DOUBLE_EQ(s.ring.peak(), 1.0);
+}
+
+TEST(MetricsHub, ExportersEmitMetaSeriesHistAndAlertLines) {
+  obs::MetricsHub hub;
+  int v = 3;
+  hub.AddGauge(&v, "depth", "reqs",
+               [&v](Nanos) { return static_cast<double>(v); });
+  hub.OnSimulatorStart();
+  hub.AdvanceTo(Msec(250));  // two samples
+  obs::LogHistogram* h = hub.AddHistogram("lat");
+  h->Record(Msec(3));
+  obs::MetricsHub::AlertSummary a;
+  a.name = "burn_gold";
+  a.window = Sec(1);
+  a.target = Msec(20);
+  a.budget = 0.001;
+  a.windows = 10;
+  a.alert_windows = 2;
+  a.first_alert = Sec(3);
+  a.worst_fraction = 0.5;
+  a.worst_window_start = Sec(4);
+  hub.AddAlertSummary(a);
+
+  std::ostringstream out;
+  hub.WriteJsonl(out);
+  std::string jsonl = out.str();
+  // One object per line: meta + 1 series + 1 hist + 1 alerts.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 4);
+  EXPECT_NE(jsonl.find("\"type\":\"meta\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\":\"depth\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"samples\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"hist\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\":\"lat\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"alerts\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"alert_windows\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"first_alert_ns\":3000000000"), std::string::npos);
+
+  std::ostringstream csv;
+  hub.WriteCsv(csv);
+  EXPECT_NE(csv.str().find("label,name,unit,t_ns,value"), std::string::npos);
+
+  auto summary = hub.Summary();
+  auto find = [&](const std::string& name) -> double {
+    for (const auto& [key, value] : summary) {
+      if (key == name) {
+        return value;
+      }
+    }
+    ADD_FAILURE() << "missing summary metric " << name;
+    return -1;
+  };
+  EXPECT_DOUBLE_EQ(find("timeline_series"), 1.0);
+  EXPECT_DOUBLE_EQ(find("timeline_points"), 2.0);
+  EXPECT_DOUBLE_EQ(find("timeline_histograms"), 1.0);
+  EXPECT_DOUBLE_EQ(find("timeline_alert_windows"), 2.0);
+  EXPECT_DOUBLE_EQ(find("tl_peak_depth"), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// BurnRateTracker: windowed SLO burn-rate evaluation (src/tenant/slo.h).
+// ---------------------------------------------------------------------------
+
+BurnRateTracker::Config BurnConfig() {
+  BurnRateTracker::Config cfg;
+  cfg.window = Sec(1);
+  cfg.target = Msec(10);
+  cfg.budget = 0.001;       // 99.9% SLO
+  cfg.alert_factor = 50.0;  // alert when a window burns > 5% of its ops
+  cfg.min_violations = 2;
+  cfg.horizon = Sec(5);
+  return cfg;
+}
+
+TEST(BurnRateTracker, WindowsAlertOnBudgetBurn) {
+  BurnRateTracker burn;
+  burn.Configure(BurnConfig());
+  ASSERT_EQ(burn.window_count(), 5u);
+
+  // Window 0: 100 ops, 1 violation — 1% burn, and below min_violations.
+  for (int i = 0; i < 99; ++i) {
+    burn.Record(Msec(500), Msec(1));
+  }
+  burn.Record(Msec(500), Msec(20));
+  // Window 1: 100 ops, 10 violations — 10% burn, alerts. An op completing
+  // exactly on the boundary belongs to the window it completes in.
+  for (int i = 0; i < 90; ++i) {
+    burn.Record(Sec(1), Msec(1));
+  }
+  for (int i = 0; i < 10; ++i) {
+    burn.Record(Sec(1) + Msec(500), Msec(20));
+  }
+  // Window 2: 10 ops, 1 violation — 10% burn but under min_violations: a
+  // single straggler in a thin window is not an alert.
+  for (int i = 0; i < 9; ++i) {
+    burn.Record(Sec(2) + Msec(100), Msec(1));
+  }
+  burn.Record(Sec(2) + Msec(100), Msec(20));
+  // Window 3 stays empty. Drain-phase completions (past the horizon) clamp
+  // into the last window.
+  burn.Record(Sec(7), Msec(1));
+
+  BurnRateTracker::Report r = burn.Evaluate();
+  EXPECT_EQ(r.windows_with_ops, 4u);
+  EXPECT_EQ(r.alert_windows, 1u);
+  EXPECT_EQ(r.first_alert, Sec(1));
+  EXPECT_DOUBLE_EQ(r.worst_fraction, 0.1);
+  EXPECT_EQ(r.worst_window_start, Sec(1));
+
+  std::vector<double> fractions = burn.WindowFractions();
+  ASSERT_EQ(fractions.size(), 5u);
+  EXPECT_DOUBLE_EQ(fractions[0], 0.01);
+  EXPECT_DOUBLE_EQ(fractions[1], 0.1);
+  EXPECT_DOUBLE_EQ(fractions[2], 0.1);
+  EXPECT_DOUBLE_EQ(fractions[3], 0.0);  // empty window reports 0
+  EXPECT_DOUBLE_EQ(fractions[4], 0.0);  // the drain op was within target
+}
+
+TEST(BurnRateTracker, ZeroTargetNeverCountsViolations) {
+  BurnRateTracker burn;
+  BurnRateTracker::Config cfg = BurnConfig();
+  cfg.target = 0;  // no latency ceiling configured for this class
+  burn.Configure(cfg);
+  for (int i = 0; i < 100; ++i) {
+    burn.Record(Msec(100), Sec(30));  // arbitrarily slow, but no target
+  }
+  BurnRateTracker::Report r = burn.Evaluate();
+  EXPECT_EQ(r.windows_with_ops, 1u);
+  EXPECT_EQ(r.alert_windows, 0u);
+  EXPECT_DOUBLE_EQ(r.worst_fraction, 0.0);
+}
+
+TEST(BurnRateTracker, EmptyEvaluateIsClean) {
+  BurnRateTracker burn;
+  burn.Configure(BurnConfig());
+  BurnRateTracker::Report r = burn.Evaluate();
+  EXPECT_EQ(r.windows_with_ops, 0u);
+  EXPECT_EQ(r.alert_windows, 0u);
+  EXPECT_EQ(r.first_alert, -1);
+  EXPECT_EQ(r.worst_window_start, -1);
+}
+
+// ---------------------------------------------------------------------------
+// The two plane-wide contracts.
+// ---------------------------------------------------------------------------
+
+// After registration, the steady-state record path — histogram Record,
+// gauge sampling across many grid boundaries, ring wrap — performs zero
+// heap allocations (counted by the global operator-new hook).
+TEST(MetricsHub, RecordPathIsAllocationFreeAfterWarmup) {
+  obs::MetricsHub hub;
+  obs::MetricsConfig cfg;
+  cfg.period = Msec(1);
+  cfg.ring_capacity = 64;
+  hub.Configure(cfg);
+  int depth = 0;
+  hub.AddGauge(&depth, "depth", "reqs",
+               [&depth](Nanos) { return static_cast<double>(depth); });
+  obs::LogHistogram* h = hub.AddHistogram("lat");
+  hub.OnSimulatorStart();
+  hub.AdvanceTo(Msec(2));  // warmup: touch every path once
+  h->Record(Usec(5));
+
+  uint64_t before = counters().allocs;
+  for (int i = 0; i < 10000; ++i) {
+    depth = i & 15;
+    h->Record(Usec(i));
+  }
+  hub.AdvanceTo(Msec(500));  // ~500 samples: wraps the 64-point ring
+  EXPECT_EQ(counters().allocs, before);
+  EXPECT_EQ(h->count(), 10001u);
+  EXPECT_GT(hub.series().front().ring.count(), 64u);
+}
+
+// A metered run of the identical workload must produce the identical
+// schedule and counters: sampling observes, never perturbs (the telemetry
+// twin of obs_test's TracingDoesNotPerturbSchedule).
+TEST(MetricsHub, MetricsDoNotPerturbSchedule) {
+  struct Outcome {
+    Nanos fsync_done = 0;
+    uint64_t sim_events = 0;
+    uint64_t block_submitted = 0;
+    uint64_t samples = 0;
+  };
+  auto run = [](bool metered) {
+    obs::MetricsHub hub;
+    std::unique_ptr<obs::ScopedMetricsHub> scope;
+    if (metered) {
+      scope = std::make_unique<obs::ScopedMetricsHub>(&hub);
+    }
+    Simulator sim;
+    StackConfig config;
+    CpuModel cpu(8);
+    StorageStack stack(config, &cpu, nullptr,
+                       std::make_unique<NoopElevator>());
+    stack.Start();  // registers the stack gauges when the hub is active
+    Process* p = stack.NewProcess("app");
+    Nanos fsync_done = 0;
+    auto body = [&]() -> Task<void> {
+      int64_t ino = co_await stack.kernel().Creat(*p, "/f");
+      co_await stack.kernel().Write(*p, ino, 0, 32 * kPageSize);
+      co_await stack.kernel().Fsync(*p, ino);
+      fsync_done = Simulator::current().Now();
+    };
+    Counters before = g_counters;
+    sim.Spawn(body());
+    sim.Run(Sec(5));
+    Counters delta = g_counters.Delta(before);
+    Outcome out;
+    out.fsync_done = fsync_done;
+    out.sim_events = delta.sim_events;
+    out.block_submitted = delta.block_submitted;
+    for (const obs::MetricsHub::Series& s : hub.series()) {
+      out.samples += s.ring.count();
+    }
+    return out;
+  };
+  Outcome metered = run(true);
+  Outcome plain = run(false);
+  EXPECT_GT(metered.fsync_done, 0);
+  EXPECT_EQ(metered.fsync_done, plain.fsync_done);
+  EXPECT_EQ(metered.sim_events, plain.sim_events);
+  EXPECT_EQ(metered.block_submitted, plain.block_submitted);
+  if (obs::kMetricsCompiled) {
+    EXPECT_GT(metered.samples, 0u);  // the hub really was sampling
+  }
+  EXPECT_EQ(plain.samples, 0u);
+}
+
+}  // namespace
+}  // namespace splitio

@@ -14,11 +14,15 @@
 //
 // The cost model is the executor's measurement surface: makespan
 // (ops_done_at), read p99 and fsync p99 service times (ExecResult::
-// op_latency), and device busy time. A candidate is valid only if the run
-// quiesced (all ops completed, nothing lost: submitted = completed +
-// merged, elevator empty). Per workload the tool reports the Pareto front
-// over the four metrics (lower is better) and, per canonical scheduler,
-// which composed specs strictly beat it on which axis.
+// op_latency), device busy time, and peak queue depth (the high-water mark
+// of elevator + software-queue occupancy — the memory/backlog cost a
+// throughput-only comparison hides: two specs with equal makespan can
+// differ by an order of magnitude in how much submitted-but-unserviced work
+// they let pile up). A candidate is valid only if the run quiesced (all ops
+// completed, nothing lost: submitted = completed + merged, elevator empty).
+// Per workload the tool reports the Pareto front over the five metrics
+// (lower is better) and, per canonical scheduler, which composed specs
+// strictly beat it on which axis.
 //
 // Self-check (exit 1 on violation):
 //   1. determinism — every front member re-runs metric-identical;
@@ -57,6 +61,7 @@ struct Metrics {
   Nanos read_p99 = 0;
   Nanos fsync_p99 = 0;
   Nanos device_busy = 0;
+  int queue_peak = 0;
 
   bool operator==(const Metrics&) const = default;
 };
@@ -111,6 +116,7 @@ Metrics Evaluate(const Scenario& base, const PolicySpec& spec) {
             r.inflight_at_end == 0 && r.elevator_empty;
   m.makespan = r.ops_done_at;
   m.device_busy = r.device_busy;
+  m.queue_peak = r.queue_peak;
   std::vector<Nanos> reads;
   std::vector<Nanos> fsyncs;
   for (size_t i = 0; i < base.program.ops.size(); ++i) {
@@ -132,9 +138,11 @@ bool Dominates(const Metrics& a, const Metrics& b) {
   }
   bool no_worse = a.makespan <= b.makespan && a.read_p99 <= b.read_p99 &&
                   a.fsync_p99 <= b.fsync_p99 &&
-                  a.device_busy <= b.device_busy;
+                  a.device_busy <= b.device_busy &&
+                  a.queue_peak <= b.queue_peak;
   bool better = a.makespan < b.makespan || a.read_p99 < b.read_p99 ||
-                a.fsync_p99 < b.fsync_p99 || a.device_busy < b.device_busy;
+                a.fsync_p99 < b.fsync_p99 || a.device_busy < b.device_busy ||
+                a.queue_peak < b.queue_peak;
   return no_worse && better;
 }
 
@@ -239,6 +247,7 @@ std::string MetricsJson(const Metrics& m) {
   out += ",\"read_p99_ns\":" + std::to_string(m.read_p99);
   out += ",\"fsync_p99_ns\":" + std::to_string(m.fsync_p99);
   out += ",\"device_busy_ns\":" + std::to_string(m.device_busy);
+  out += ",\"queue_peak\":" + std::to_string(m.queue_peak);
   out += "}";
   return out;
 }
@@ -423,6 +432,8 @@ int main(int argc, char** argv) {
         axis_win(row.metrics.fsync_p99, base.metrics.fsync_p99, "fsync_p99");
         axis_win(row.metrics.device_busy, base.metrics.device_busy,
                  "device_busy");
+        axis_win(row.metrics.queue_peak, base.metrics.queue_peak,
+                 "queue_peak");
       }
     }
     results.push_back(std::move(res));
@@ -474,23 +485,24 @@ int main(int argc, char** argv) {
 
   for (const WorkloadResult& res : results) {
     std::printf("== %s ==\n", res.name.c_str());
-    std::printf("%-16s %5s %6s %12s %12s %12s %12s\n", "spec", "canon",
+    std::printf("%-16s %5s %6s %12s %12s %12s %12s %6s\n", "spec", "canon",
                 "front", "makespan_ms", "read_p99_ms", "fsync_p99_ms",
-                "busy_ms");
+                "busy_ms", "qpeak");
     for (const Evaluated& row : res.rows) {
       if (!row.metrics.valid) {
         std::printf("%-16s %5s %6s %12s\n", row.candidate->spec.name.c_str(),
                     row.candidate->canonical ? "yes" : "", "", "INVALID");
         continue;
       }
-      std::printf("%-16s %5s %6s %12.2f %12.2f %12.2f %12.2f\n",
+      std::printf("%-16s %5s %6s %12.2f %12.2f %12.2f %12.2f %6d\n",
                   row.candidate->spec.name.c_str(),
                   row.candidate->canonical ? "yes" : "",
                   row.pareto ? "*" : "",
                   static_cast<double>(row.metrics.makespan) / 1e6,
                   static_cast<double>(row.metrics.read_p99) / 1e6,
                   static_cast<double>(row.metrics.fsync_p99) / 1e6,
-                  static_cast<double>(row.metrics.device_busy) / 1e6);
+                  static_cast<double>(row.metrics.device_busy) / 1e6,
+                  row.metrics.queue_peak);
     }
     std::printf("axis wins over hand-written schedulers: %zu\n\n",
                 res.dominations.size());

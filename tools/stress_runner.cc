@@ -11,9 +11,14 @@
 //   stress_runner --seeds 50 --control drop-completion   # oracle self-test
 //
 // Replay mode: re-execute a repro file and verify the recorded failure
-// reproduces byte-for-byte.
+// reproduces byte-for-byte. `--metrics PATH` additionally samples the
+// telemetry gauges during the replay and writes the timeline JSONL
+// (src/obs/metrics; readable by metrics_report) — queue depths and device
+// occupancy around a failure are often the fastest way to see *why* a seed
+// went wrong. Campaign mode ignores the flag (workers run on their own
+// threads; the hub is per-thread).
 //
-//   stress_runner --replay stress-out/repro-seed42.json
+//   stress_runner --replay stress-out/repro-seed42.json --metrics tl.jsonl
 //
 // Exit codes: 0 = clean campaign / failure reproduced; 1 = failures found /
 // replay mismatch; 2 = usage or I/O error.
@@ -25,6 +30,7 @@
 #include <thread>
 
 #include "src/core/sched_factory.h"
+#include "src/obs/metrics_global.h"
 #include "src/sched/policy.h"
 #include "src/stress/runner.h"
 
@@ -38,7 +44,7 @@ int Usage() {
                "                     [--no-content-diff] [--no-mq-equiv]\n"
                "                     [--control NAME] [--sched NAME]\n"
                "                     [--max-ops N] [--verbose]\n"
-               "       stress_runner --replay FILE\n"
+               "       stress_runner --replay FILE [--metrics TL.jsonl]\n"
                "controls: skip-preflush | misordered-elevator | "
                "drop-completion\n");
   return 2;
@@ -62,6 +68,7 @@ int main(int argc, char** argv) {
 
   StressOptions options;
   std::string replay_path;
+  std::string metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -149,12 +156,21 @@ int main(int argc, char** argv) {
         return Usage();
       }
       replay_path = val;
+    } else if (arg == "--metrics") {
+      const char* val = next();
+      if (val == nullptr) {
+        return Usage();
+      }
+      metrics_path = val;
     } else {
       return Usage();
     }
   }
 
   if (!replay_path.empty()) {
+    if (!metrics_path.empty()) {
+      splitio::obs::EnableGlobalMetrics(metrics_path, "", 0);
+    }
     // Resolve before opening (and echo the result): repro paths used to be
     // CWD-relative only, so the same command line worked from the repo root
     // but not from build/ where the nightly workflow runs.
@@ -164,9 +180,15 @@ int main(int argc, char** argv) {
     std::string message;
     int rc = splitio::ReplayRepro(resolved, &message);
     std::cout << message << "\n";
+    splitio::obs::FinalizeGlobalMetrics();
     return rc;
   }
 
+  if (!metrics_path.empty()) {
+    std::fprintf(stderr,
+                 "stress_runner: --metrics only applies to --replay; "
+                 "ignored\n");
+  }
   splitio::StressReport report = splitio::RunStress(options, &std::cout);
   return report.ok() ? 0 : 1;
 }

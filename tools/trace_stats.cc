@@ -4,13 +4,19 @@
 // Usage:
 //   trace_stats SPANS.jsonl
 //   trace_stats --diff OLD.jsonl NEW.jsonl [--threshold FRACTION]
+//               [--tolerance LAYER=FRACTION]...
 //
 // Single-file mode prints, per scheduler label, a per-layer residency table
 // (count / mean / p50 / p95 / p99 / p99.9 ms for cache, journal, software queue,
 // elevator, device, and end-to-end). Diff mode aligns two traces by
 // scheduler label and reports the change in mean residency per layer; it
 // exits non-zero if any scheduler's end-to-end mean regressed by more than
-// --threshold (default 0.25), so CI can gate on latency-attribution drift.
+// --threshold (default 0.25), or any layer given an explicit
+// `--tolerance layer=frac` (e.g. `--tolerance device=0.15`) regressed
+// beyond it. Every gated regression is reported by name —
+// "sched/layer: old -> new" — through the shared per-metric tolerance
+// machinery (tools/report_common.h, also used by metrics_report), so a CI
+// failure says *which* scheduler and layer drifted.
 //
 // Like bench_runner, this tool is standalone (no splitio dependency) and
 // parses the compact one-object-per-line JSON the span writer emits with
@@ -25,6 +31,8 @@
 #include <map>
 #include <string>
 #include <vector>
+
+#include "tools/report_common.h"
 
 namespace {
 
@@ -178,7 +186,7 @@ int PrintStats(const std::string& path) {
 }
 
 int Diff(const std::string& old_path, const std::string& new_path,
-         double threshold) {
+         double threshold, const report::Tolerances& tol) {
   bool old_ok = false;
   bool new_ok = false;
   auto olds = Load(old_path, &old_ok);
@@ -189,7 +197,7 @@ int Diff(const std::string& old_path, const std::string& new_path,
   std::printf("diff: %s -> %s (regression threshold %.0f%% on end-to-end "
               "mean)\n",
               old_path.c_str(), new_path.c_str(), threshold * 100);
-  int regressions = 0;
+  std::vector<report::Offender> offenders;
   for (const auto& [sched, n] : news) {
     auto it = olds.find(sched);
     if (it == olds.end()) {
@@ -207,9 +215,20 @@ int Diff(const std::string& old_path, const std::string& new_path,
       double om = o.layers[i].Mean();
       double nm = n.layers[i].Mean();
       double delta = om > 0 ? (nm - om) / om : 0;
-      bool gate = i + 1 == kLayers;  // gate on end-to-end only
-      bool regressed = gate && om > 0 && delta > threshold;
-      regressions += regressed ? 1 : 0;
+      // End-to-end always gates at --threshold; other layers gate only when
+      // the caller named them with --tolerance (so the default behavior —
+      // per-layer drift is informational — is unchanged).
+      bool end_to_end = i + 1 == kLayers;
+      auto named = tol.by_name.find(kLayerNames[i]);
+      double gate_at = end_to_end ? threshold
+                       : named != tol.by_name.end() ? named->second
+                                                    : -1;
+      bool regressed =
+          gate_at >= 0 && om > 0 && report::GateIncrease(om, nm, gate_at, 0);
+      if (regressed) {
+        offenders.push_back({std::string(sched) + "/" + kLayerNames[i], om,
+                             nm, gate_at, "ms mean"});
+      }
       std::printf("%10s %12.3f %12.3f %+8.1f%%%s\n", kLayerNames[i], om, nm,
                   delta * 100, regressed ? "  REGRESSION" : "");
     }
@@ -220,10 +239,10 @@ int Diff(const std::string& old_path, const std::string& new_path,
                   old_path.c_str(), static_cast<unsigned long long>(o.spans));
     }
   }
-  if (regressions > 0) {
-    std::printf("\n%d scheduler(s) regressed more than %.0f%% in end-to-end "
-                "mean latency\n",
-                regressions, threshold * 100);
+  if (!offenders.empty()) {
+    std::printf("\n%zu scheduler/layer pair(s) regressed beyond tolerance:\n",
+                offenders.size());
+    report::PrintOffenders(offenders);
     return 1;
   }
   std::printf("\nno end-to-end regression beyond %.0f%%\n", threshold * 100);
@@ -237,6 +256,7 @@ int main(int argc, char** argv) {
   std::string diff_new;
   std::string trace;
   double threshold = 0.25;
+  report::Tolerances tol;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&](const char* flag) -> std::string {
@@ -251,17 +271,23 @@ int main(int argc, char** argv) {
       diff_new = next("--diff");
     } else if (arg == "--threshold") {
       threshold = std::strtod(next("--threshold").c_str(), nullptr);
+    } else if (arg == "--tolerance") {
+      std::string spec = next("--tolerance");
+      if (!tol.ParseFlag(spec)) {
+        std::fprintf(stderr, "bad --tolerance spec: %s\n", spec.c_str());
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: trace_stats SPANS.jsonl\n"
                   "       trace_stats --diff OLD.jsonl NEW.jsonl "
-                  "[--threshold FRACTION]\n");
+                  "[--threshold FRACTION] [--tolerance LAYER=FRACTION]...\n");
       return 0;
     } else {
       trace = arg;
     }
   }
   if (!diff_old.empty()) {
-    return Diff(diff_old, diff_new, threshold);
+    return Diff(diff_old, diff_new, threshold, tol);
   }
   if (trace.empty()) {
     std::fprintf(stderr, "no trace given (see --help)\n");
