@@ -7,6 +7,11 @@
 // (cap/3) * 7 workers / tokens spread across the cluster; with 64 MB
 // blocks, placement imbalance strands tokens on idle workers, so the group
 // falls short; 16 MB blocks spread load and approach the bound.
+//
+// bench_hdfs_sharded runs this scenario's shape at 100–1000 workers on the
+// sharded parallel simulator (one DES per node), byte-identical to the
+// sequential engine; this bench stays on the single-simulator DfsCluster
+// to reproduce the paper figure exactly.
 #include "bench/common/flags.h"
 #include "bench/common/harness.h"
 #include "src/apps/dfs.h"

@@ -7,6 +7,11 @@
 // local Split-Token charges the right tenant even though the I/O is
 // performed by the worker's server threads — the paper's cross-machine tag
 // propagation.
+//
+// The whole cluster runs inside one Simulator, which caps it at a handful
+// of workers on one core. For cluster-scale runs (100–1000 nodes) use
+// ShardedDfs (dfs_sharded.h): the same workload with one simulator per
+// worker machine on the sharded parallel runtime (src/sim/shard.h).
 #ifndef SRC_APPS_DFS_H_
 #define SRC_APPS_DFS_H_
 

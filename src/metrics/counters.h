@@ -67,6 +67,30 @@ struct Counters {
     d.allocs = allocs - earlier.allocs;
     return d;
   }
+
+  // Field-wise accumulation. The shard runtime (src/sim/shard.cc) captures
+  // each execution slice's delta on whichever pool thread ran it, then folds
+  // the per-shard totals into the owning thread's counters in shard-id order
+  // — integer addition makes the fold exact, so a sharded run's counter
+  // block is byte-identical to the sequential run's.
+  void Add(const Counters& other) {
+    sim_events += other.sim_events;
+    sim_immediate += other.sim_immediate;
+    cache_lookups += other.cache_lookups;
+    cache_hits += other.cache_hits;
+    pages_dirtied += other.pages_dirtied;
+    block_submitted += other.block_submitted;
+    block_merged += other.block_merged;
+    block_completed += other.block_completed;
+    device_flushes += other.device_flushes;
+    faults_injected += other.faults_injected;
+    wb_errors += other.wb_errors;
+    journal_commits += other.journal_commits;
+    wb_pages_flushed += other.wb_pages_flushed;
+    mq_kicks += other.mq_kicks;
+    device_busy_ns += other.device_busy_ns;
+    allocs += other.allocs;
+  }
 };
 
 // Per-thread counters: each simulation runs single-threaded, but the stress

@@ -64,11 +64,32 @@ Simulator::Simulator() {
                                                std::move(storage));
 }
 
-Simulator::~Simulator() { g_current = nullptr; }
+Simulator::Simulator(Detached) {
+  // Shard simulators: many per thread, swapped in and out by the shard
+  // runtime. No current-simulator registration, no sample-grid reset (the
+  // telemetry hook is disabled inside shard slices — see src/sim/shard.cc).
+  std::vector<QueueItem> storage;
+  storage.reserve(kInitialQueueCapacity);
+  queue_ = std::priority_queue<QueueItem, std::vector<QueueItem>,
+                               std::greater<>>(std::greater<>(),
+                                               std::move(storage));
+}
+
+Simulator::~Simulator() {
+  if (g_current == this) {
+    g_current = nullptr;
+  }
+}
 
 Simulator& Simulator::current() {
   assert(g_current != nullptr);
   return *g_current;
+}
+
+Simulator* Simulator::SwapCurrent(Simulator* sim) {
+  Simulator* prev = g_current;
+  g_current = sim;
+  return prev;
 }
 
 void Simulator::Schedule(Nanos t, std::coroutine_handle<> h) {
@@ -137,6 +158,13 @@ JoinHandle Simulator::Spawn(Task<void> task) {
   auto state = std::make_shared<JoinState>();
   RootDriver driver = DriveRoot(std::move(task), state);
   Schedule(now_, driver.handle);
+  return state;
+}
+
+JoinHandle Simulator::SpawnAt(Nanos t, Task<void> task) {
+  auto state = std::make_shared<JoinState>();
+  RootDriver driver = DriveRoot(std::move(task), state);
+  Schedule(t, driver.handle);
   return state;
 }
 

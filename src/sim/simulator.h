@@ -40,13 +40,26 @@ using JoinHandle = std::shared_ptr<JoinState>;
 
 class Simulator {
  public:
+  // Construction tag for shard simulators (src/sim/shard.h): a detached
+  // simulator does not install itself as the thread's current simulator
+  // (several coexist per thread; the shard runtime swaps them in and out
+  // around execution slices) and does not touch the telemetry sample grid.
+  struct Detached {};
+
   Simulator();
+  explicit Simulator(Detached);
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   // The simulator currently executing (valid during construction..Run).
   static Simulator& current();
+
+  // Replaces the thread's current simulator and returns the previous one
+  // (either may be null). The shard runtime brackets every execution slice
+  // with a swap pair so that code running inside a shard sees the shard's
+  // simulator as `current()` on whichever pool thread executes it.
+  static Simulator* SwapCurrent(Simulator* sim);
 
   Nanos Now() const { return now_; }
 
@@ -58,8 +71,32 @@ class Simulator {
   // handle can be awaited with `Join`.
   JoinHandle Spawn(Task<void> task);
 
+  // Spawn, but the root task's first resumption happens at absolute time
+  // `t` (>= Now()) instead of immediately. Used by the shard runtime to
+  // inject a cross-shard message at its delivery timestamp without an
+  // extra bounce through the current time.
+  JoinHandle SpawnAt(Nanos t, Task<void> task);
+
   // Runs until the event queue is empty or the clock passes `until`.
   void Run(Nanos until = kNanosMax);
+
+  // True when no wake-up is pending (quiescent — blocked coroutines may
+  // still be parked on Events/Latches waiting for external input).
+  bool idle() const { return ready_.empty() && queue_.empty(); }
+
+  // Timestamp of the earliest pending wake-up, or kNanosMax when idle.
+  // The shard runtime's epoch loop uses this to skip dead time between
+  // conservative synchronization windows.
+  Nanos NextEventTime() const {
+    Nanos t = kNanosMax;
+    if (!ready_.empty()) {
+      t = ready_.front().time;
+    }
+    if (!queue_.empty() && queue_.top().time < t) {
+      t = queue_.top().time;
+    }
+    return t;
+  }
 
   // Total wake-ups processed (for overhead accounting in benches).
   uint64_t events_processed() const { return events_processed_; }

@@ -1,0 +1,247 @@
+// Sharded parallel simulation (src/sim/shard.h): the conservative epoch
+// protocol must deliver cross-shard messages at their timestamps in a
+// deterministic order, count causality violations, fold per-shard counters
+// exactly — and, above all, produce a byte-identical physical timeline for
+// every thread-pool size at a fixed shard assignment. The matrix test
+// sweeps shard groupings x schedulers x seeds on the sharded DFS cluster;
+// the check_shard_determinism ctest repeats the comparison over full
+// process output (tables + BENCHJSON) through the bench binary.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/dfs_sharded.h"
+#include "src/metrics/counters.h"
+#include "src/sim/shard.h"
+#include "src/sim/simulator.h"
+
+namespace splitio {
+namespace {
+
+TEST(ShardGroup, DeliversSetupSendsWithoutAnyLocalEvents) {
+  ShardGroup::Config gc;
+  gc.shards = 2;
+  gc.lookahead = Usec(10);
+  ShardGroup group(gc);
+  bool delivered = false;
+  Nanos at = -1;
+  group.Setup(0, [&]() {
+    group.Send(1, Usec(25), [&]() {
+      delivered = true;
+      at = Simulator::current().Now();
+    });
+  });
+  ShardRunStats rs = group.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(at, Usec(25));
+  EXPECT_EQ(rs.messages, 1u);
+  EXPECT_EQ(rs.causality_violations, 0u);
+}
+
+// Two shards bounce a message back and forth; every pool size must execute
+// the identical timeline: delivery times advance by exactly the one-way
+// latency, and the epoch/message/event totals match the sequential run.
+TEST(ShardGroup, PingPongIdenticalAcrossPoolSizes) {
+  constexpr int kRounds = 64;
+  constexpr Nanos kHop = Usec(10);
+  std::vector<Nanos> reference;
+  ShardRunStats reference_stats;
+  for (int threads : {1, 2, 3}) {
+    ShardGroup::Config gc;
+    gc.shards = 2;
+    gc.lookahead = kHop;
+    gc.threads = threads;
+    ShardGroup group(gc);
+    std::vector<Nanos> arrivals;
+    int hops = 0;
+    // The handler re-sends to the peer until kRounds hops happened. It runs
+    // inside whichever shard the message addressed, so Current() resolves
+    // and Send is legal.
+    std::function<void()> bounce = [&]() {
+      arrivals.push_back(Simulator::current().Now());
+      if (++hops >= kRounds) {
+        return;
+      }
+      int self = ShardGroup::Current()->id();
+      group.Send(1 - self, Simulator::current().Now() + kHop, bounce);
+    };
+    group.Setup(0, [&]() { group.Send(1, kHop, bounce); });
+    ShardRunStats rs = group.Run();
+    ASSERT_EQ(arrivals.size(), static_cast<size_t>(kRounds));
+    for (int i = 0; i < kRounds; ++i) {
+      EXPECT_EQ(arrivals[static_cast<size_t>(i)], kHop * (i + 1));
+    }
+    EXPECT_EQ(rs.messages, static_cast<uint64_t>(kRounds));
+    EXPECT_EQ(rs.causality_violations, 0u);
+    if (threads == 1) {
+      reference = arrivals;
+      reference_stats = rs;
+    } else {
+      EXPECT_EQ(arrivals, reference);
+      EXPECT_EQ(rs.epochs, reference_stats.epochs);
+      EXPECT_EQ(rs.events, reference_stats.events);
+    }
+  }
+}
+
+// Same-epoch ties: messages from different source shards landing at the
+// same destination timestamp must execute in (deliver_time, src shard,
+// src seq) order, not pool-arrival order.
+TEST(ShardGroup, TieBreakBySourceShardThenSeq) {
+  for (int threads : {1, 4}) {
+    ShardGroup::Config gc;
+    gc.shards = 4;
+    gc.lookahead = Usec(10);
+    gc.threads = threads;
+    ShardGroup group(gc);
+    std::vector<int> order;
+    for (int src : {3, 1, 2}) {  // deliberately not in id order
+      group.Setup(src, [&, src]() {
+        group.Send(0, Usec(10), [&, src]() { order.push_back(src * 10); });
+        group.Send(0, Usec(10), [&, src]() { order.push_back(src * 10 + 1); });
+      });
+    }
+    group.Run();
+    EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21, 30, 31}));
+  }
+}
+
+TEST(ShardGroup, CountsCausalityViolations) {
+  ShardGroup::Config gc;
+  gc.shards = 2;
+  gc.lookahead = Usec(100);
+  ShardGroup group(gc);
+  group.Setup(0, [&]() {
+    group.Send(1, Usec(99), [] {});   // below the lookahead: violation
+    group.Send(1, Usec(100), [] {});  // exactly at the bound: legal
+  });
+  ShardRunStats rs = group.Run();
+  EXPECT_EQ(rs.messages, 2u);
+  EXPECT_EQ(rs.causality_violations, 1u);
+}
+
+// The whole-cluster fingerprint the determinism matrix compares: per-client
+// application results, total events, and the exact counter delta of the
+// run (allocs included — satellite: BENCHJSON totals must match).
+struct Fingerprint {
+  std::vector<uint64_t> bytes;
+  std::vector<uint64_t> ops;
+  uint64_t events = 0;
+  uint64_t violations = 0;
+  Counters delta;
+
+  bool operator==(const Fingerprint& other) const {
+    return bytes == other.bytes && ops == other.ops &&
+           events == other.events && violations == other.violations &&
+           std::memcmp(&delta, &other.delta, sizeof(Counters)) == 0;
+  }
+};
+
+Fingerprint RunCluster(SchedKind sched, uint64_t seed, int workers_per_shard,
+                       int threads, Nanos lookahead_override = 0) {
+  Counters before = counters();
+  Fingerprint fp;
+  {
+    ShardedDfs::Config config;
+    config.workers = 9;
+    config.workers_per_shard = workers_per_shard;
+    config.block_bytes = 2ULL << 20;
+    config.sched = sched;
+    config.seed = seed;
+    config.threads = threads;
+    config.lookahead_override = lookahead_override;
+    ShardedDfs cluster(config);
+    cluster.Start();
+    cluster.SetAccountLimit(1, 8.0 * 1024 * 1024);
+    constexpr Nanos kEnd = Msec(150);
+    std::vector<WorkloadStats> stats(4);
+    cluster.AddClient(0, /*account=*/1, kEnd, &stats[0]);
+    cluster.AddClient(1, /*account=*/1, kEnd, &stats[1]);
+    cluster.AddClient(100, /*account=*/-1, kEnd, &stats[2]);
+    cluster.AddClient(101, /*account=*/-1, kEnd, &stats[3]);
+    ShardRunStats rs = cluster.Run(kEnd);
+    for (const WorkloadStats& s : stats) {
+      fp.bytes.push_back(s.bytes);
+      fp.ops.push_back(s.ops);
+    }
+    fp.events = rs.events;
+    fp.violations = rs.causality_violations;
+  }
+  fp.delta = counters().Delta(before);
+  return fp;
+}
+
+// The headline guarantee: at a fixed shard assignment, the sharded DFS
+// cluster produces the identical physical timeline AND identical counter
+// totals for every pool size — across shard groupings (one node per shard
+// vs several), schedulers (split, legacy, token), and seeds.
+TEST(ShardedDfs, ParallelMatchesSequentialAcrossGroupingsSchedsSeeds) {
+  const SchedKind kinds[] = {SchedKind::kSplitToken, SchedKind::kCfq,
+                             SchedKind::kSplitDeadline};
+  const uint64_t seeds[] = {1234, 99991};
+  for (SchedKind sched : kinds) {
+    for (uint64_t seed : seeds) {
+      for (int grouping : {1, 4}) {  // 10 shards vs 4 (9 workers + clients)
+        Fingerprint seq = RunCluster(sched, seed, grouping, /*threads=*/1);
+        EXPECT_EQ(seq.violations, 0u);
+        EXPECT_GT(seq.events, 0u);
+        for (int threads : {2, 4}) {
+          Fingerprint par = RunCluster(sched, seed, grouping, threads);
+          EXPECT_TRUE(par == seq)
+              << "sched=" << SchedName(sched) << " seed=" << seed
+              << " grouping=" << grouping << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+// Re-running the same configuration twice in one process must also agree —
+// no state bleeds across ShardedDfs instances.
+TEST(ShardedDfs, RepeatRunsAreIdentical) {
+  Fingerprint a = RunCluster(SchedKind::kSplitToken, 7, 1, 2);
+  Fingerprint b = RunCluster(SchedKind::kSplitToken, 7, 1, 2);
+  EXPECT_TRUE(a == b);
+}
+
+// Negative control: inflating the lookahead past the real RPC latency
+// breaks the conservative contract and must be caught by the violation
+// counter (the determinism ctest asserts the same through the bench CLI).
+TEST(ShardedDfs, PerturbedLookaheadIsCaught) {
+  Fingerprint fp =
+      RunCluster(SchedKind::kSplitToken, 1234, 1, /*threads=*/1,
+                 /*lookahead_override=*/Usec(200));
+  EXPECT_GT(fp.violations, 0u);
+}
+
+// Counter-fold soundness in isolation: shard activity must land in the
+// calling thread's counters (in shard-id order), and the pool machinery's
+// own footprint must not.
+TEST(ShardGroup, FoldsShardCountersIntoCaller) {
+  for (int threads : {1, 3}) {
+    Counters before = counters();
+    ShardGroup::Config gc;
+    gc.shards = 3;
+    gc.lookahead = Usec(10);
+    gc.threads = threads;
+    ShardGroup group(gc);
+    for (int i = 0; i < 3; ++i) {
+      group.Setup(i, [&]() {
+        Simulator::current().Spawn([]() -> Task<void> {
+          for (int k = 0; k < 5; ++k) {
+            co_await Delay(Usec(3));
+          }
+        }());
+      });
+    }
+    group.Run();
+    Counters delta = counters().Delta(before);
+    // 3 shards x (1 spawn + 5 delays) = 18 wake-ups, every pool size.
+    EXPECT_EQ(delta.sim_events, 18u);
+  }
+}
+
+}  // namespace
+}  // namespace splitio

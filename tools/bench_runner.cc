@@ -4,7 +4,7 @@
 //
 // Usage:
 //   bench_runner [--out results.json] [--outdir dir] [--only substr]
-//                <bench binary>...
+//                [--jobs N] <bench binary>...
 //   bench_runner --compare old.json new.json [--threshold 0.10]
 //   bench_runner --validate results.json
 //
@@ -14,6 +14,13 @@
 // parses the BENCHJSON line the bench harness prints at exit (total
 // simulator events, per-layer counters, named metrics). The derived
 // headline metric is events_per_sec = events_processed / wall seconds.
+//
+// --jobs N forks up to N benches concurrently (0 = one per core). Each
+// bench is still its own process with its own capture file, and the results
+// array stays in input order, so the JSON is independent of completion
+// order. Wall-clock and events/sec of co-scheduled benches contend for
+// cores, so keep the default (sequential) wherever the numbers feed a perf
+// gate; parallel mode is for turnaround (bench_all_parallel, local dev).
 //
 // --compare reads two BENCH_results.json files produced by this runner and
 // reports per-bench deltas; it exits non-zero if any bench's events_per_sec
@@ -27,6 +34,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -34,8 +43,10 @@
 #include <ctime>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -424,6 +435,7 @@ int main(int argc, char** argv) {
   std::string compare_new;
   std::string validate_path;
   double threshold = 0.10;
+  int jobs = 1;
   std::vector<std::string> benches;
 
   for (int i = 1; i < argc; ++i) {
@@ -443,6 +455,8 @@ int main(int argc, char** argv) {
       only = next("--only");
     } else if (arg == "--threshold") {
       threshold = std::strtod(next("--threshold").c_str(), nullptr);
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(next("--jobs").c_str());
     } else if (arg == "--compare") {
       compare_old = next("--compare");
       compare_new = next("--compare");
@@ -451,8 +465,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bench_runner [--out FILE] [--outdir DIR] [--only SUBSTR] "
-          "BENCH...\n       bench_runner --compare OLD NEW [--threshold "
-          "FRACTION]\n       bench_runner --validate RESULTS\n");
+          "[--jobs N] BENCH...\n       bench_runner --compare OLD NEW "
+          "[--threshold FRACTION]\n       bench_runner --validate RESULTS\n");
       return 0;
     } else {
       benches.push_back(arg);
@@ -471,26 +485,71 @@ int main(int argc, char** argv) {
   }
   mkdir(outdir.c_str(), 0755);  // EEXIST is fine
 
-  std::vector<BenchResult> results;
-  int failures = 0;
-  for (size_t i = 0; i < benches.size(); ++i) {
-    const std::string& path = benches[i];
+  std::vector<std::string> selected;
+  for (const std::string& path : benches) {
     if (!only.empty() && Basename(path).find(only) == std::string::npos) {
       continue;
     }
-    std::printf("[%2zu/%zu] %-40s ", i + 1, benches.size(),
-                Basename(path).c_str());
-    std::fflush(stdout);
-    BenchResult r;
-    if (!RunOne(path, outdir, &r)) {
+    selected.push_back(path);
+  }
+
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  jobs = std::max(1, std::min<int>(jobs, static_cast<int>(selected.size())));
+
+  // Slot per selected bench, filled in any completion order; the results
+  // array is assembled in input order afterwards so the JSON (and the
+  // --compare table keyed off it) never depends on scheduling.
+  std::vector<BenchResult> slots(selected.size());
+  std::vector<char> ran(selected.size(), 0);
+  std::atomic<size_t> next_index{0};
+  std::mutex print_mutex;
+  auto worker = [&]() {
+    for (;;) {
+      size_t i = next_index.fetch_add(1);
+      if (i >= selected.size()) {
+        return;
+      }
+      BenchResult r;
+      bool ok = RunOne(selected[i], outdir, &r);
+      std::lock_guard<std::mutex> lock(print_mutex);
+      std::printf("[%2zu/%zu] %-40s ", i + 1, selected.size(),
+                  Basename(selected[i]).c_str());
+      if (ok) {
+        std::printf("%8.0f ms  %12.0f events  %10.0f ev/s  rss %ld KB%s\n",
+                    r.wall_ms, r.events_processed, r.events_per_sec,
+                    r.max_rss_kb, r.exit_code == 0 ? "" : "  FAILED");
+      } else {
+        std::printf("%8s\n", "ERROR");
+      }
+      std::fflush(stdout);
+      slots[i] = std::move(r);
+      ran[i] = ok ? 1 : 0;
+    }
+  };
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(jobs));
+    for (int j = 0; j < jobs; ++j) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  std::vector<BenchResult> results;
+  int failures = 0;
+  for (size_t i = 0; i < selected.size(); ++i) {
+    if (!ran[i]) {
       ++failures;
       continue;
     }
-    failures += r.exit_code == 0 ? 0 : 1;
-    std::printf("%8.0f ms  %12.0f events  %10.0f ev/s  rss %ld KB%s\n",
-                r.wall_ms, r.events_processed, r.events_per_sec, r.max_rss_kb,
-                r.exit_code == 0 ? "" : "  FAILED");
-    results.push_back(std::move(r));
+    failures += slots[i].exit_code == 0 ? 0 : 1;
+    results.push_back(std::move(slots[i]));
   }
   if (results.empty() && failures == 0) {
     // A typo'd --only would otherwise write an empty results file and
